@@ -1,0 +1,191 @@
+(* E13 — ablations of the design choices DESIGN.md calls out.
+
+   (a) Short-circuiting (Prop 3.4): how much do almost-augmenting sequences
+       shrink, and what would applying them un-short-circuited cost? We
+       measure raw vs short-circuited lengths over a whole decomposition.
+   (b) Search radius (Theorem 3.2): Algorithm 2 restricts augmenting
+       searches to N^{R'}(e). We shrink R' below the theory value and watch
+       the stall/leftover rate climb — the radius really is load-bearing.
+   (c) CUT (Theorem 4.2): disabling CUT entirely still yields correct
+       output in the sequential simulation, but the monochromatic
+       components crossing cluster boundaries (the "bad cut" events)
+       explode — exactly what would break parallel cluster processing. *)
+
+open Exp_common
+module Aug = Nw_core.Augmenting
+module FA = Nw_core.Forest_algo
+module Cut = Nw_core.Cut
+
+(* (a) short-circuit ablation: complete adversarial partial exact 2-FDs of
+   the squared path (where sequences get long) and compare raw
+   almost-augmenting sequences with their Prop 3.4 subsequences *)
+let short_circuit_ablation () =
+  let alpha = 2 in
+  let g = G.power (Gen.path 60) 2 in
+  let palette = Palette.full g alpha in
+  let st = rng 10900 in
+  let raw_lengths = ref [] and sc_lengths = ref [] and changed = ref 0 in
+  let total = ref 0 in
+  for _ = 1 to 25 do
+    let coloring = Coloring.create g ~colors:alpha in
+    let edges = Array.init (G.m g) (fun e -> e) in
+    for i = Array.length edges - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let tmp = edges.(i) in
+      edges.(i) <- edges.(j);
+      edges.(j) <- tmp
+    done;
+    Array.iter
+      (fun e ->
+        let c = Random.State.int st alpha in
+        if not (Coloring.would_close_cycle coloring e c) then
+          Coloring.set coloring e c)
+      edges;
+    List.iter
+      (fun e ->
+        match Aug.search coloring palette ~start:e () with
+        | Aug.Stalled _ -> failwith "unrestricted exact search cannot stall"
+        | Aug.Found (seq, _) ->
+            let seq' = Aug.short_circuit coloring seq in
+            incr total;
+            if List.length seq' < List.length seq then incr changed;
+            raw_lengths := List.length seq :: !raw_lengths;
+            sc_lengths := List.length seq' :: !sc_lengths;
+            Aug.apply coloring seq')
+      (Coloring.uncolored coloring);
+    verified (Verify.forest_decomposition coloring) |> ignore
+  done;
+  let raw = Exp_stats.of_ints !raw_lengths in
+  let sc = Exp_stats.of_ints !sc_lengths in
+  table
+    ~title:
+      "(a) Prop 3.4 short-circuiting over adversarial exact 2-FD \
+       completions of P60^2"
+    ~header:[ "sequence"; "mean (max)" ]
+    ~rows:
+      [
+        [ "almost augmenting (raw)"; Exp_stats.pp_mean_max raw ];
+        [ "after short-circuit"; Exp_stats.pp_mean_max sc ];
+        [ "sequences shortened";
+          Printf.sprintf "%d of %d" !changed !total ];
+      ];
+  note
+    "the BFS first-reach trace is already near-minimal in practice (zero \
+     (A3) violations here), but Lemma 3.1's proof needs (A3), so the \
+     extraction is a safety net the implementation keeps: it costs nothing \
+     when sequences are already clean."
+
+(* (b) radius ablation. The squared path P_n^2 is density-tight for two
+   forests (m = 2n-3 vs capacity 2n-2) with linear diameter. We greedily
+   pre-color a random subset (an adversarial partial state), then complete
+   it by augmentation restricted to balls of radius R' around each edge and
+   count the completions that stall. Unrestricted search provably never
+   stalls at k = alpha (the Prop 3.3 stall certificate would contradict
+   alpha = 2), so every stall is attributable to the radius. *)
+let radius_ablation () =
+  let alpha = 2 in
+  let g = G.power (Gen.path 60) 2 in
+  let palette = Palette.full g alpha in
+  let trials = 25 in
+  let complete_with_radius st radius =
+    let coloring = Coloring.create g ~colors:alpha in
+    (* adversarial prefill: random order, random color if it fits *)
+    let edges = Array.init (G.m g) (fun e -> e) in
+    for i = Array.length edges - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let tmp = edges.(i) in
+      edges.(i) <- edges.(j);
+      edges.(j) <- tmp
+    done;
+    Array.iter
+      (fun e ->
+        let c = Random.State.int st alpha in
+        if not (Coloring.would_close_cycle coloring e c) then
+          Coloring.set coloring e c)
+      edges;
+    let stalls = ref 0 and max_len = ref 0 in
+    List.iter
+      (fun e ->
+        let u, v = G.endpoints g e in
+        let within =
+          match radius with
+          | None -> None
+          | Some r -> Some (G.ball_of_set g [ u; v ] r)
+        in
+        match Aug.augment_edge coloring palette ~edge:e ?within () with
+        | Some stats ->
+            max_len := max !max_len (stats.Aug.iterations + 1)
+        | None -> incr stalls)
+      (Coloring.uncolored coloring);
+    verified (Verify.partial_forest_decomposition coloring) |> ignore;
+    (!stalls, !max_len)
+  in
+  let rows =
+    List.map
+      (fun radius ->
+        let st = rng (11100 + Option.value ~default:99 radius) in
+        let total_stalls = ref 0 and worst_len = ref 0 and failed = ref 0 in
+        for _ = 1 to trials do
+          let stalls, len = complete_with_radius st radius in
+          total_stalls := !total_stalls + stalls;
+          if stalls > 0 then incr failed;
+          worst_len := max !worst_len len
+        done;
+        [
+          (match radius with None -> "unrestricted" | Some r -> d r);
+          d !total_stalls;
+          Printf.sprintf "%d/%d" !failed trials;
+          d !worst_len;
+        ])
+      [ Some 1; Some 2; Some 4; Some 8; None ]
+  in
+  table
+    ~title:
+      "(b) search radius vs stalls: completing adversarial partial exact \
+       2-FDs of P60^2 (25 trials each)"
+    ~header:[ "radius R'"; "stalls"; "failed trials"; "worst seq len" ]
+    ~rows;
+  note
+    "unrestricted search never stalls at k = alpha (the stall certificate \
+     of Prop 3.3 would contradict alpha = 2); every stall in the small-R' \
+     rows is the radius biting — Theorem 3.2's O(log n/eps) radius is what \
+     makes restricted search safe once palettes have slack."
+
+(* (c) CUT ablation: fixed modest radii on a long line; with CUT disabled
+   the monochromatic components cross the cluster regions ("bad cuts") *)
+let cut_ablation () =
+  let alpha = 4 and epsilon = 1.0 in
+  let g = Gen.line_multigraph 120 alpha in
+  let k = int_of_float (ceil ((1. +. epsilon) *. float_of_int alpha)) in
+  let palette = Palette.full g k in
+  let run cut seed =
+    let st = rng seed in
+    let rounds = Rounds.create () in
+    let coloring, _, stats =
+      FA.decompose_with_leftover g palette ~epsilon ~alpha ~cut
+        ~radii:(10, 5) ~rng:st ~rounds
+    in
+    verified (Verify.partial_forest_decomposition coloring) |> ignore;
+    (stats.FA.good_cuts, stats.FA.bad_cuts, stats.FA.leftover_edges,
+     stats.FA.stalls)
+  in
+  let good_c, bad_c, leftover_c, stalls_c = run Cut.Depth_mod 11300 in
+  let good_n, bad_n, leftover_n, stalls_n = run Cut.Disabled 11301 in
+  table
+    ~title:"(c) CUT ablation on line-multigraph 120x4, radii (R,R') = (10,5)"
+    ~header:[ "configuration"; "good cuts"; "bad cuts"; "leftover"; "stalls" ]
+    ~rows:
+      [
+        [ "with CUT (Depth_mod)"; d good_c; d bad_c; d leftover_c; d stalls_c ];
+        [ "CUT disabled"; d good_n; d bad_n; d leftover_n; d stalls_n ];
+      ];
+  note
+    "without CUT, clusters stay monochromatically connected to far-away \
+     vertices ('bad cuts'): parallel same-class processing would clash, \
+     which is exactly what Theorem 4.2 exists to prevent."
+
+let run () =
+  section "E13: ablations (short-circuit, search radius, CUT)";
+  short_circuit_ablation ();
+  radius_ablation ();
+  cut_ablation ()

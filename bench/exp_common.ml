@@ -1,0 +1,120 @@
+(* Shared toolkit for the experiment harness: fixed-seed RNGs, table
+   rendering, and verified-measurement helpers. Every number printed by an
+   experiment is produced after the corresponding output passed the
+   Nw_decomp.Verify checkers, so the tables cannot report invalid
+   decompositions. *)
+
+module G = Nw_graphs.Multigraph
+module Gen = Nw_graphs.Generators
+module Rounds = Nw_localsim.Rounds
+module Coloring = Nw_decomp.Coloring
+module Palette = Nw_decomp.Palette
+module Verify = Nw_decomp.Verify
+
+let rng seed = Random.State.make [| seed; 0xbead |]
+
+(* ------------------------------------------------------------------ *)
+(* table rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* when set (--csv DIR), every table is also written as DIR/<slug>.csv *)
+let csv_dir : string option ref = ref None
+
+let csv_slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '_')
+    title
+
+let write_csv ~title ~header ~rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (csv_slug title ^ ".csv") in
+      let oc = open_out path in
+      let quote cell =
+        if String.exists (fun c -> c = ',' || c = '"') cell then
+          "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+        else cell
+      in
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," (List.map quote row));
+          output_char oc '\n')
+        (header :: rows);
+      close_out oc
+
+let hrule widths =
+  String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+let render_row widths cells =
+  String.concat " | "
+    (List.map2
+       (fun w c ->
+         if String.length c >= w then c
+         else c ^ String.make (w - String.length c) ' ')
+       widths cells)
+
+let table ~title ~header ~rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let widths =
+    List.init columns (fun i ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          0 all)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (render_row widths header);
+  Printf.printf "%s\n" (hrule widths);
+  List.iter (fun row -> Printf.printf "%s\n" (render_row widths row)) rows;
+  write_csv ~title ~header ~rows;
+  flush stdout
+
+let note fmt = Printf.printf ("   " ^^ fmt ^^ "\n")
+
+let section title =
+  Printf.printf "\n######## %s ########\n" title;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* formatting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let d = string_of_int
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let yes_no b = if b then "yes" else "no"
+
+(* asserts validity and returns a printable tag; the harness aborts loudly
+   if an algorithm ever produces a bad output *)
+let verified report =
+  match report with
+  | Ok () -> "ok"
+  | Error msg -> failwith ("benchmark produced an invalid output: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* measured decompositions                                             *)
+(* ------------------------------------------------------------------ *)
+
+type fd_measurement = {
+  colors : int;
+  diameter : int;
+  rounds : int;
+  valid : string;
+}
+
+let measure_fd ?(star = false) coloring rounds =
+  let report =
+    if star then Verify.star_forest_decomposition coloring
+    else Verify.forest_decomposition coloring
+  in
+  {
+    colors = Verify.colors_used coloring;
+    diameter = Verify.max_forest_diameter coloring;
+    rounds = Rounds.total rounds;
+    valid = verified report;
+  }

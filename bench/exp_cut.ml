@@ -1,0 +1,67 @@
+(* E6 — Theorem 4.2: the CUT load-balancing rules (Figure 3's machinery).
+
+   Paper claims: CUT can be implemented so that w.h.p. the execution of
+   Algorithm 2 is good (every cluster gets monochromatically disconnected
+   from distance R) while the removed edges keep pseudo-arboricity at most
+   ceil(eps*alpha). We run Algorithm 2 once per rule on a fitting instance
+   and report: good-cut fraction, leftover size, exact leftover
+   pseudo-arboricity vs the ceil(eps*alpha) budget, and stalls. *)
+
+open Exp_common
+module FA = Nw_core.Forest_algo
+module Cut = Nw_core.Cut
+
+let run_rule name cut g alpha epsilon =
+  let st = rng (5000 + Hashtbl.hash name) in
+  let palette =
+    Palette.full g (int_of_float (ceil ((1. +. epsilon) *. float_of_int alpha)))
+  in
+  let radii =
+    FA.default_radii ~n:(G.n g) ~epsilon ~alpha ~max_degree:(G.max_degree g)
+      ~cut
+  in
+  let rounds = Rounds.create () in
+  let coloring, removed, stats =
+    FA.decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng:st
+      ~rounds
+  in
+  verified (Verify.partial_forest_decomposition coloring) |> ignore;
+  let leftover_graph, _ = G.subgraph_of_edges g removed in
+  let pa, _ = Nw_graphs.Arboricity.pseudo_arboricity leftover_graph in
+  let budget = int_of_float (ceil (epsilon *. float_of_int alpha)) in
+  let total_cuts = stats.FA.good_cuts + stats.FA.bad_cuts in
+  [
+    name;
+    Printf.sprintf "(%d,%d)" (fst radii) (snd radii);
+    Printf.sprintf "%d/%d" stats.FA.good_cuts (max 1 total_cuts);
+    d stats.FA.leftover_edges;
+    Printf.sprintf "%d<=%d" pa budget;
+    d stats.FA.stalls;
+    d (Rounds.total rounds);
+  ]
+
+let run () =
+  section "E6: Theorem 4.2 (CUT rules: goodness and leftover sparsity)";
+  let alpha = 6 and epsilon = 1.0 in
+  let g = Gen.forest_union (rng 5001) 300 alpha in
+  let rows =
+    [
+      run_rule "Depth_mod (4.2(2))" Cut.Depth_mod g alpha epsilon;
+      run_rule "Diam_reduce (4.2(1))" Cut.Diam_reduce g alpha epsilon;
+      run_rule "Sampled eta=0.5 (4.2(4))" (Cut.Sampled 0.5) g alpha epsilon;
+      run_rule "Sampled eta=0.25 (4.2(3))" (Cut.Sampled 0.25) g alpha epsilon;
+    ]
+  in
+  table
+    ~title:
+      (Printf.sprintf
+         "CUT rules on a forest-union multigraph (n=300, alpha=%d, eps=%g)"
+         alpha epsilon)
+    ~header:
+      [ "rule"; "radii (R,R')"; "good cuts"; "leftover"; "pa <= budget";
+        "stalls"; "rounds" ]
+    ~rows;
+  note
+    "Depth_mod cuts with probability one (paper: 'the execution is always \
+     good'); the sampled rules trade a larger radius R for small alpha \
+     support. Leftover pseudo-arboricity stays within ceil(eps*alpha)."

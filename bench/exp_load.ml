@@ -1,0 +1,101 @@
+(* E14 — the load-balancing internals of the sampled CUT (Prop 4.3 /
+   Lemma 4.4, the machinery extended from [SV19b]).
+
+   The sampled rule maintains per-vertex deletion counters L(v) capped at
+   ceil(eps*alpha); Lemma 4.4 needs the overloaded vertices (L(v) at the
+   cap) to stay rare so that live branches keep enough underloaded edges to
+   be cut. We invoke CUT(Sampled) many times on a long path-of-cliques
+   style graph and track the counter distribution, the overloaded fraction,
+   and whether executions stay good. *)
+
+open Exp_common
+module Cut = Nw_core.Cut
+
+(* long band: a path of K5s chained by single edges — diameter Θ(n),
+   arboricity that of K5 (= 3), so regions are real *)
+let band cliques =
+  let size = 5 in
+  let n = cliques * size in
+  let b = G.create_builder n in
+  for c = 0 to cliques - 1 do
+    let base = c * size in
+    for u = 0 to size - 1 do
+      for v = u + 1 to size - 1 do
+        ignore (G.add_edge b (base + u) (base + v))
+      done
+    done;
+    if c > 0 then ignore (G.add_edge b (base - 1) base)
+  done;
+  G.build b
+
+let run () =
+  section "E14: sampled-CUT load balancing (Prop 4.3 / Lemma 4.4)";
+  let g = band 40 in
+  let alpha = 3 in
+  let exact =
+    match Nw_baseline.Gabow_westermann.forest_partition g alpha with
+    | Ok c -> c
+    | Error _ -> failwith "band must decompose into 3 forests"
+  in
+  let rows =
+    List.map
+      (fun epsilon ->
+        let st = rng (12000 + int_of_float (10. *. epsilon)) in
+        let rounds = Rounds.create () in
+        let radius = 20 in
+        let cut =
+          Cut.create g (Cut.Sampled 0.5) ~epsilon ~alpha ~radius
+            ~num_classes:10 ~rng:st ~rounds
+        in
+        let coloring = Coloring.copy exact in
+        let removed = Array.make (G.m g) false in
+        let invocations = 10 in
+        let good = ref 0 in
+        for i = 0 to invocations - 1 do
+          (* slide the cluster along the band *)
+          let center = (i * G.n g) / invocations in
+          let core = G.ball_of_set g [ center ] 3 in
+          let region = G.ball_of_set g [ center ] (3 + radius) in
+          Cut.execute cut coloring ~core ~region ~removed;
+          if Cut.is_good coloring ~core ~region then incr good
+        done;
+        let counters = Option.get (Cut.load_counters cut) in
+        let cap = Option.get (Cut.overload_cap cut) in
+        let stats = Exp_stats.of_ints (Array.to_list counters) in
+        let overloaded =
+          Array.fold_left
+            (fun acc c -> if c >= cap then acc + 1 else acc)
+            0 counters
+        in
+        let sub, _ = G.subgraph_of_edges g removed in
+        let pa, _ = Nw_graphs.Arboricity.pseudo_arboricity sub in
+        [
+          f2 epsilon;
+          d cap;
+          Exp_stats.pp_mean_sd stats;
+          Printf.sprintf "%d/%d" overloaded (G.n g);
+          Printf.sprintf "%d/%d" !good invocations;
+          Printf.sprintf "%d<=%d" pa cap;
+          (match Cut.sampling_probability cut with
+          | Some p -> f2 p
+          | None -> "-");
+        ])
+      [ 2.0; 1.0; 0.5 ]
+  in
+  table
+    ~title:
+      "10 sliding CUT(Sampled 0.5) invocations on a 40-clique band (alpha=3)"
+    ~header:
+      [
+        "eps"; "cap"; "L(v) mean+-sd"; "overloaded"; "good"; "leftover pa";
+        "p";
+      ]
+    ~rows;
+  note
+    "at simulation scale the Lemma 4.4 probability p saturates at 1 (its R \
+     prescription is astronomically larger), so the counter cap — not the \
+     sampling — is what protects the leftover: pseudo-arboricity stays \
+     within ceil(eps*alpha) in every row, and all sliding executions stay \
+     good. At paper scale p ~ alpha log n / (eta R) << 1 and the counters \
+     would concentrate well below the cap (the mean column already sits \
+     below it)."

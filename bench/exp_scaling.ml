@@ -1,0 +1,62 @@
+(* E15 — round-complexity scaling: the runtime column of Table 1 as a
+   sweep over n.
+
+   Theorem 4.6 charges O(log^3 n / eps) rounds when alpha >= Ω(log n) and
+   O(log^4 n / eps) when alpha >= Ω(log Δ). We run the depth-mod pipeline
+   at fixed alpha and eps over growing n and print total charged rounds
+   next to log^3 n and log^4 n normalizations: a shape is reproduced when
+   one of the ratio columns stays roughly flat. For contrast the
+   Barenboim-Elkin baseline (O(log n / eps)) is swept too. *)
+
+open Exp_common
+module FA = Nw_core.Forest_algo
+
+let run () =
+  section "E15: round scaling vs n (Theorem 4.6 runtime column)";
+  let alpha = 8 and epsilon = 0.5 in
+  let rows =
+    List.map
+      (fun n ->
+        let st = rng (13000 + n) in
+        let g = Gen.forest_union st n alpha in
+        let rounds = Rounds.create () in
+        let coloring, _ =
+          FA.forest_decomposition g ~epsilon ~alpha ~cut:Nw_core.Cut.Depth_mod
+            ~rng:st ~rounds ()
+        in
+        verified (Verify.forest_decomposition coloring) |> ignore;
+        let total = float_of_int (Rounds.total rounds) in
+        let be_rounds = Rounds.create () in
+        let alpha_star, _ = Nw_graphs.Arboricity.pseudo_arboricity g in
+        let _ =
+          Nw_baseline.Barenboim_elkin.decompose g ~epsilon ~alpha_star
+            ~rng:st ~rounds:be_rounds
+        in
+        let l = log (float_of_int n) in
+        [
+          d n;
+          d (int_of_float total);
+          f1 (total /. (l ** 3.0));
+          f1 (total /. (l ** 4.0));
+          d (Rounds.total be_rounds);
+          f2 (float_of_int (Rounds.total be_rounds) /. l);
+        ])
+      [ 50; 100; 200; 400; 800; 1600; 3200 ]
+  in
+  table
+    ~title:
+      (Printf.sprintf
+         "total charged rounds vs n (alpha = %d, eps = %g, depth-mod cut)"
+         alpha epsilon)
+    ~header:
+      [
+        "n"; "our rounds"; "/log^3 n"; "/log^4 n"; "BE rounds"; "BE/log n";
+      ]
+    ~rows;
+  note
+    "our charges grow polylogarithmically — both normalized columns decay, \
+     i.e. observed growth is even below log^3 n because the network \
+     decomposition collapses to O(1) clusters on these low-diameter inputs \
+     (the paper's log^3/log^4 are worst-case) — while the absolute values \
+     dwarf BE's O(log n/eps): the trade Theorem 4.6 makes to reach \
+     (1+eps)*alpha colors."

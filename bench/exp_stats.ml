@@ -1,0 +1,26 @@
+(* Small descriptive-statistics helper for multi-trial experiments. *)
+
+type t = { count : int; mean : float; min : float; max : float; stddev : float }
+
+let of_list values =
+  match values with
+  | [] -> invalid_arg "Exp_stats.of_list: empty"
+  | _ ->
+      let count = List.length values in
+      let sum = List.fold_left ( +. ) 0.0 values in
+      let mean = sum /. float_of_int count in
+      let sq =
+        List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values
+      in
+      {
+        count;
+        mean;
+        min = List.fold_left min infinity values;
+        max = List.fold_left max neg_infinity values;
+        stddev = sqrt (sq /. float_of_int count);
+      }
+
+let of_ints values = of_list (List.map float_of_int values)
+
+let pp_mean_max t = Printf.sprintf "%.1f (max %.0f)" t.mean t.max
+let pp_mean_sd t = Printf.sprintf "%.1f +- %.1f" t.mean t.stddev

@@ -1,0 +1,216 @@
+(* Benchmark harness: regenerates every table/figure-like artifact of the
+   paper (experiments T1, E2-E12 as indexed in DESIGN.md) and then runs one
+   Bechamel micro-benchmark per experiment's core kernel.
+
+   Run everything:        dune exec bench/main.exe
+   Run a subset:          dune exec bench/main.exe -- e5 e7 t1
+   Skip micro-benchmarks: dune exec bench/main.exe -- --no-micro
+   Also write CSV tables: dune exec bench/main.exe -- --csv results/ *)
+
+let experiments =
+  [
+    ("t1", "Table 1 trade-off matrix", Exp_table1.run);
+    ("e2", "Theorem 2.1 H-partition", Exp_thm21.run);
+    ("e3", "Theorem 2.3 LSFD", Exp_thm23.run);
+    ("e4", "Prop 2.4 diameter reduction", Exp_diam.run);
+    ("e5", "Theorem 3.2 augmenting sequences", Exp_augmenting.run);
+    ("e6", "Theorem 4.2 CUT rules", Exp_cut.run);
+    ("e7", "Theorem 4.6 FD vs baselines", Exp_fd_main.run);
+    ("e8", "Theorems 4.9/4.10 LFD", Exp_lfd.run);
+    ("e9", "Theorem 5.4 star forests", Exp_sfd.run);
+    ("e10", "Corollary 1.1 orientations", Exp_orientation.run);
+    ("e11", "Proposition C.1 lower bound", Exp_lower_bound.run);
+    ("e12", "Corollary 1.2 star arboricity", Exp_star_arboricity.run);
+    ("e13", "ablations", Exp_ablation.run);
+    ("e14", "Lemma 4.4 load balancing", Exp_load.run);
+    ("e15", "round scaling vs n", Exp_scaling.run);
+    ("e16", "message-kernel fidelity", Exp_kernel.run);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per experiment table                  *)
+(* ------------------------------------------------------------------ *)
+
+module Micro = struct
+  open Bechamel
+  open Toolkit
+  module Gen = Nw_graphs.Generators
+  module G = Nw_graphs.Multigraph
+  module Palette = Nw_decomp.Palette
+  module Coloring = Nw_decomp.Coloring
+
+  let rng () = Random.State.make [| 0xfeed |]
+  let fresh_rounds () = Nw_localsim.Rounds.create ()
+
+  (* small fixed instances so each kernel runs in well under a second *)
+  let g_small = Gen.forest_union (rng ()) 60 4
+  let g_simple = Gen.forest_union_simple (rng ()) 60 4
+  let ids = Array.init 60 (fun v -> v)
+
+  let t1_full_fd () =
+    let st = rng () in
+    ignore
+      (Nw_core.Forest_algo.forest_decomposition g_small ~epsilon:1.0 ~alpha:4
+         ~rng:st ~rounds:(fresh_rounds ()) ())
+
+  let e2_h_partition () =
+    ignore
+      (Nw_core.H_partition.compute g_small ~epsilon:0.5 ~alpha_star:4
+         ~rounds:(fresh_rounds ()))
+
+  let e3_lsfd () =
+    let palette = Palette.full g_small 17 in
+    ignore
+      (Nw_core.Lsfd.distributed g_small palette ~epsilon:0.5 ~alpha_star:4
+         ~rng:(rng ()) ~rounds:(fresh_rounds ()))
+
+  let exact_fd =
+    match Nw_baseline.Gabow_westermann.forest_partition g_small 4 with
+    | Ok c -> c
+    | Error _ -> assert false
+
+  let e4_diam_reduce () =
+    ignore
+      (Nw_core.Diameter_reduction.reduce exact_fd ~target:`Inv_eps
+         ~epsilon:1.0 ~alpha:4 ~ids ~rng:(rng ()) ~rounds:(fresh_rounds ()))
+
+  let e5_augment () =
+    let palette = Palette.full g_small 5 in
+    let coloring = Coloring.create g_small ~colors:5 in
+    List.iter
+      (fun e ->
+        ignore (Nw_core.Augmenting.augment_edge coloring palette ~edge:e ()))
+      (Coloring.uncolored coloring)
+
+  let e6_cut () =
+    let coloring = Coloring.copy exact_fd in
+    let cut =
+      Nw_core.Cut.create g_small Nw_core.Cut.Depth_mod ~epsilon:1.0 ~alpha:4
+        ~radius:8 ~num_classes:4 ~rng:(rng ()) ~rounds:(fresh_rounds ())
+    in
+    let core = G.ball_of_set g_small [ 0 ] 2 in
+    let region = G.ball_of_set g_small [ 0 ] 10 in
+    let removed = Array.make (G.m g_small) false in
+    Nw_core.Cut.execute cut coloring ~core ~region ~removed
+
+  let e7_gw_exact () =
+    ignore (Nw_baseline.Gabow_westermann.forest_partition g_small 4)
+
+  let e8_split () =
+    ignore
+      (Nw_core.Color_split.mpx_split g_small ~colors:12 ~epsilon:1.0
+         ~rng:(rng ()) ~rounds:(fresh_rounds ()))
+
+  let simple_orientation =
+    let _, fd = Nw_baseline.Gabow_westermann.arboricity g_simple in
+    Nw_core.Orient.of_forest_decomposition fd ~rounds:(fresh_rounds ())
+
+  let e9_sfd () =
+    ignore
+      (Nw_core.Star_forest.sfd g_simple ~epsilon:0.5 ~alpha:4
+         ~orientation:simple_orientation ~ids ~rng:(rng ())
+         ~rounds:(fresh_rounds ()))
+
+  let e10_orient () =
+    ignore
+      (Nw_core.Orient.of_forest_decomposition exact_fd
+         ~rounds:(fresh_rounds ()))
+
+  let g_line = Gen.line_multigraph 40 4
+  let e11_line_fd () =
+    ignore (Nw_baseline.Gabow_westermann.forest_partition g_line 5)
+
+  let e12_amr () =
+    ignore (Nw_baseline.Amr_star.of_forest_decomposition exact_fd)
+
+  let e13_short_circuit () =
+    let palette = Palette.full g_small 4 in
+    let coloring = Coloring.copy exact_fd in
+    (* un-color one edge and re-augment it, with the short-circuit pass *)
+    Coloring.unset coloring 0;
+    ignore (Nw_core.Augmenting.augment_edge coloring palette ~edge:0 ())
+
+  let e14_sampled_cut () =
+    let coloring = Coloring.copy exact_fd in
+    let cut =
+      Nw_core.Cut.create g_small (Nw_core.Cut.Sampled 0.5) ~epsilon:1.0
+        ~alpha:4 ~radius:16 ~num_classes:4 ~rng:(rng ())
+        ~rounds:(fresh_rounds ())
+    in
+    let core = G.ball_of_set g_small [ 0 ] 2 in
+    let region = G.ball_of_set g_small [ 0 ] 18 in
+    let removed = Array.make (G.m g_small) false in
+    Nw_core.Cut.execute cut coloring ~core ~region ~removed
+
+  let e15_h_peel_big =
+    let g_big = Gen.forest_union (rng ()) 400 4 in
+    fun () ->
+      ignore
+        (Nw_core.H_partition.compute g_big ~epsilon:0.5 ~alpha_star:4
+           ~rounds:(fresh_rounds ()))
+
+  let tests =
+    [
+      Test.make ~name:"t1:forest_decomposition" (Staged.stage t1_full_fd);
+      Test.make ~name:"e2:h_partition" (Staged.stage e2_h_partition);
+      Test.make ~name:"e3:lsfd_distributed" (Staged.stage e3_lsfd);
+      Test.make ~name:"e4:diameter_reduce" (Staged.stage e4_diam_reduce);
+      Test.make ~name:"e5:augment_all" (Staged.stage e5_augment);
+      Test.make ~name:"e6:cut_depth_mod" (Staged.stage e6_cut);
+      Test.make ~name:"e7:gw_exact" (Staged.stage e7_gw_exact);
+      Test.make ~name:"e8:mpx_split" (Staged.stage e8_split);
+      Test.make ~name:"e9:sfd_matchings" (Staged.stage e9_sfd);
+      Test.make ~name:"e10:orient_fd" (Staged.stage e10_orient);
+      Test.make ~name:"e11:line_multigraph_fd" (Staged.stage e11_line_fd);
+      Test.make ~name:"e12:amr_parity_split" (Staged.stage e12_amr);
+      Test.make ~name:"e13:augment_short_circuit" (Staged.stage e13_short_circuit);
+      Test.make ~name:"e14:sampled_cut" (Staged.stage e14_sampled_cut);
+      Test.make ~name:"e15:h_partition_n400" (Staged.stage e15_h_peel_big);
+    ]
+
+  let run () =
+    Exp_common.section "Bechamel micro-benchmarks (one kernel per table)";
+    let test = Test.make_grouped ~name:"kernels" ~fmt:"%s %s" tests in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name ols_result ->
+        let nanos =
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> Printf.sprintf "%.0f" t
+          | _ -> "-"
+        in
+        rows := [ name; nanos ] :: !rows)
+      results;
+    let rows = List.sort compare !rows in
+    Exp_common.table ~title:"kernel cost (monotonic clock)"
+      ~header:[ "kernel"; "ns/run" ] ~rows
+end
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_micro = List.mem "--no-micro" args in
+  (* --csv DIR: additionally dump every table as CSV under DIR *)
+  let rec strip_csv acc = function
+    | "--csv" :: dir :: rest ->
+        Exp_common.csv_dir := Some dir;
+        strip_csv acc rest
+    | x :: rest -> strip_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_csv [] args in
+  let selected = List.filter (fun a -> a <> "--no-micro") args in
+  let wanted name = selected = [] || List.mem name selected in
+  Printf.printf
+    "Nash-Williams forest decomposition: experiment harness\n(paper artifact index in DESIGN.md; paper-vs-measured in EXPERIMENTS.md)\n";
+  List.iter (fun (name, _desc, run) -> if wanted name then run ()) experiments;
+  if (not no_micro) && selected = [] then Micro.run ();
+  Printf.printf "\nall selected experiments completed.\n"

@@ -1,0 +1,395 @@
+(* forestd: command-line front end for the Nash-Williams LOCAL
+   decomposition library.
+
+     forestd generate --family forest-union --n 200 --alpha 5 -o g.txt
+     forestd info g.txt
+     forestd decompose g.txt --algorithm augment --epsilon 0.5
+     forestd decompose g.txt --algorithm star --epsilon 0.25 --dot out.dot
+*)
+
+module G = Nw_graphs.Multigraph
+module Gen = Nw_graphs.Generators
+module Io = Nw_graphs.Graph_io
+module Arb = Nw_graphs.Arboricity
+module Rounds = Nw_localsim.Rounds
+module Coloring = Nw_decomp.Coloring
+module Verify = Nw_decomp.Verify
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 2021 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let epsilon_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc:"Slack parameter eps > 0.")
+
+let graph_pos =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"GRAPH" ~doc:"Edge-list file (see graph_io format).")
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let family_conv =
+  Arg.enum
+    [
+      ("forest-union", `Forest_union);
+      ("forest-union-simple", `Forest_union_simple);
+      ("erdos-renyi", `Erdos_renyi);
+      ("complete", `Complete);
+      ("grid", `Grid);
+      ("line-multigraph", `Line_multigraph);
+      ("random-regular", `Random_regular);
+      ("planted", `Planted);
+      ("k-tree", `K_tree);
+      ("preferential", `Preferential);
+      ("hypercube", `Hypercube);
+      ("caterpillar", `Caterpillar);
+    ]
+
+let generate seed family n alpha p degree extra output =
+  let rng = Random.State.make [| seed |] in
+  let g =
+    match family with
+    | `Forest_union -> Gen.forest_union rng n alpha
+    | `Forest_union_simple -> Gen.forest_union_simple rng n alpha
+    | `Erdos_renyi -> Gen.erdos_renyi rng n p
+    | `Complete -> Gen.complete n
+    | `Grid ->
+        let side = int_of_float (sqrt (float_of_int n)) in
+        Gen.grid side side
+    | `Line_multigraph -> Gen.line_multigraph n alpha
+    | `Random_regular -> Gen.random_regular rng n degree
+    | `Planted -> Gen.planted_alpha rng n alpha extra
+    | `K_tree -> Gen.random_k_tree rng n alpha
+    | `Preferential -> Gen.preferential_attachment rng n alpha
+    | `Hypercube ->
+        let d = max 1 (int_of_float (log (float_of_int (max 2 n)) /. log 2.)) in
+        Gen.hypercube d
+    | `Caterpillar -> Gen.caterpillar (max 1 (n / (1 + degree))) degree
+  in
+  (match output with
+  | None -> print_string (Io.to_edge_list g)
+  | Some path -> Io.write_edge_list path g);
+  Format.eprintf "generated %a@." G.pp g
+
+let generate_cmd =
+  let family =
+    Arg.(
+      value
+      & opt family_conv `Forest_union
+      & info [ "family" ] ~docv:"FAMILY" ~doc:"Graph family.")
+  in
+  let n =
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Vertex count.")
+  in
+  let alpha =
+    Arg.(
+      value & opt int 4
+      & info [ "alpha" ] ~docv:"A" ~doc:"Target arboricity (where used).")
+  in
+  let p =
+    Arg.(
+      value & opt float 0.1
+      & info [ "p" ] ~docv:"P" ~doc:"Edge probability (erdos-renyi).")
+  in
+  let degree =
+    Arg.(
+      value & opt int 4
+      & info [ "degree" ] ~docv:"D" ~doc:"Degree (random-regular).")
+  in
+  let extra =
+    Arg.(
+      value & opt int 0
+      & info [ "extra" ] ~docv:"X" ~doc:"Extra noise edges (planted).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if absent).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a benchmark graph.")
+    Term.(
+      const generate $ seed_arg $ family $ n $ alpha $ p $ degree $ extra
+      $ output)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_run path exact =
+  let g = Io.read_edge_list path in
+  Format.printf "%a@." G.pp g;
+  Format.printf "simple: %b@." (G.is_simple g);
+  Format.printf "degeneracy: %d@." (Nw_graphs.Degeneracy.degeneracy g);
+  Format.printf "density lower bound: %d@." (Arb.density_lower_bound g);
+  let alpha_star, _ = Arb.pseudo_arboricity g in
+  Format.printf "pseudo-arboricity: %d@." alpha_star;
+  if exact then begin
+    let alpha, _ = Nw_baseline.Gabow_westermann.arboricity g in
+    Format.printf "arboricity (exact): %d@." alpha
+  end
+
+let info_cmd =
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:"Also compute the exact arboricity (matroid partition).")
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print graph statistics.")
+    Term.(const info_run $ graph_pos $ exact)
+
+(* ------------------------------------------------------------------ *)
+(* decompose                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let algorithm_conv =
+  Arg.enum
+    [
+      ("exact", `Exact);
+      ("greedy", `Greedy);
+      ("be", `Be);
+      ("augment", `Augment);
+      ("star", `Star);
+      ("amr-star", `Amr);
+      ("lsfd", `Lsfd);
+      ("orientation", `Orientation);
+      ("pseudo", `Pseudo);
+    ]
+
+let report_coloring ?(star = false) g coloring rounds =
+  (match
+     if star then Verify.star_forest_decomposition coloring
+     else Verify.forest_decomposition coloring
+   with
+  | Ok () -> Format.printf "verified: valid decomposition@."
+  | Error msg -> Format.printf "INVALID: %s@." msg);
+  Format.printf "colors used: %d@." (Verify.colors_used coloring);
+  Format.printf "max forest diameter: %d@."
+    (Verify.max_forest_diameter coloring);
+  ignore g;
+  match rounds with
+  | None -> ()
+  | Some r -> Format.printf "%a@." Rounds.pp r
+
+let decompose path algorithm epsilon seed alpha_opt dot save =
+  let g = Io.read_edge_list path in
+  let rng = Random.State.make [| seed |] in
+  let alpha =
+    match alpha_opt with
+    | Some a -> a
+    | None -> fst (Nw_baseline.Gabow_westermann.arboricity g)
+  in
+  Format.printf "graph: %a, alpha = %d, eps = %g@." G.pp g alpha epsilon;
+  let coloring =
+    match algorithm with
+    | `Exact ->
+        let _, c = Nw_baseline.Gabow_westermann.arboricity g in
+        report_coloring g c None;
+        Some c
+    | `Greedy ->
+        let c = Nw_baseline.Greedy_forest.greedy g in
+        report_coloring g c None;
+        Some c
+    | `Be ->
+        let rounds = Rounds.create () in
+        let alpha_star, _ = Arb.pseudo_arboricity g in
+        let c =
+          Nw_baseline.Barenboim_elkin.decompose g ~epsilon ~alpha_star ~rng
+            ~rounds
+        in
+        report_coloring g c (Some rounds);
+        Some c
+    | `Augment ->
+        let rounds = Rounds.create () in
+        let c, stats =
+          Nw_core.Forest_algo.forest_decomposition g ~epsilon ~alpha ~rng
+            ~rounds ()
+        in
+        Format.printf "leftover: %d, stalls: %d, longest sequence: %d@."
+          stats.Nw_core.Forest_algo.leftover_edges
+          stats.Nw_core.Forest_algo.stalls
+          stats.Nw_core.Forest_algo.max_sequence_length;
+        report_coloring g c (Some rounds);
+        Some c
+    | `Star ->
+        let rounds = Rounds.create () in
+        let _, fd = Nw_baseline.Gabow_westermann.arboricity g in
+        let orientation =
+          Nw_core.Orient.of_forest_decomposition fd ~rounds
+        in
+        let ids = Array.init (G.n g) (fun v -> v) in
+        let c, stats =
+          Nw_core.Star_forest.sfd g ~epsilon ~alpha ~orientation ~ids ~rng
+            ~rounds
+        in
+        Format.printf "deficiency: %d, leftover: %d@."
+          stats.Nw_core.Star_forest.max_deficiency
+          stats.Nw_core.Star_forest.leftover_edges;
+        report_coloring ~star:true g c (Some rounds);
+        Some c
+    | `Amr ->
+        let c, _ = Nw_baseline.Amr_star.decompose g in
+        report_coloring ~star:true g c None;
+        Some c
+    | `Lsfd ->
+        let rounds = Rounds.create () in
+        let alpha_star, _ = Arb.pseudo_arboricity g in
+        let k =
+          int_of_float (floor ((4.0 +. epsilon) *. float_of_int alpha_star))
+          - 1
+        in
+        let palette = Nw_decomp.Palette.full g k in
+        let c =
+          Nw_core.Lsfd.distributed g palette ~epsilon ~alpha_star ~rng ~rounds
+        in
+        report_coloring ~star:true g c (Some rounds);
+        Some c
+    | `Orientation ->
+        let rounds = Rounds.create () in
+        let o, _ =
+          Nw_core.Orient.orientation g ~epsilon ~alpha ~rng ~rounds ()
+        in
+        Format.printf "max out-degree: %d (alpha = %d)@."
+          (Nw_graphs.Orientation.max_out_degree o)
+          alpha;
+        Format.printf "%a@." Rounds.pp rounds;
+        None
+    | `Pseudo ->
+        let rounds = Rounds.create () in
+        let assignment, k =
+          Nw_core.Pseudo_forest.decompose g ~epsilon ~alpha ~rng ~rounds ()
+        in
+        ignore assignment;
+        Format.printf "pseudo-forests: %d (alpha = %d)@." k alpha;
+        Format.printf "%a@." Rounds.pp rounds;
+        None
+  in
+  (match (dot, coloring) with
+  | Some dot_path, Some c ->
+      let oc = open_out dot_path in
+      output_string oc (Io.to_dot g ~edge_color:(fun e -> Coloring.color c e));
+      close_out oc;
+      Format.printf "wrote %s@." dot_path
+  | _ -> ());
+  match (save, coloring) with
+  | Some save_path, Some c ->
+      Nw_decomp.Coloring_io.write save_path c;
+      Format.printf "saved decomposition to %s@." save_path
+  | Some _, None ->
+      Format.printf "note: this algorithm produces no coloring to save@."
+  | None, _ -> ()
+
+let decompose_cmd =
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv `Augment
+      & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"Algorithm to run.")
+  in
+  let alpha =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:"Arboricity bound (computed exactly when omitted).")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write a colored DOT rendering.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Save the decomposition (coloring_io format).")
+  in
+  Cmd.v
+    (Cmd.info "decompose" ~doc:"Run a decomposition algorithm on a graph.")
+    Term.(
+      const decompose $ graph_pos $ algorithm $ epsilon_arg $ seed_arg $ alpha
+      $ dot $ save)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_run graph_path coloring_path star lists =
+  let g = Io.read_edge_list graph_path in
+  let coloring = Nw_decomp.Coloring_io.read coloring_path g in
+  let checks =
+    [
+      ( "forest decomposition",
+        if star then Verify.star_forest_decomposition coloring
+        else Verify.forest_decomposition coloring );
+    ]
+    @
+    match lists with
+    | None -> []
+    | Some k ->
+        [ ("palette (full 0..k-1)",
+           Verify.respects_palette coloring (Nw_decomp.Palette.full g k)) ]
+  in
+  let failed =
+    List.fold_left
+      (fun acc (name, r) ->
+        match r with
+        | Ok () ->
+            Format.printf "%-24s ok@." name;
+            acc
+        | Error msg ->
+            Format.printf "%-24s FAILED: %s@." name msg;
+            acc + 1)
+      0 checks
+  in
+  Format.printf "colors used: %d, max diameter: %d@."
+    (Verify.colors_used coloring)
+    (Verify.max_forest_diameter coloring);
+  if failed > 0 then exit 1
+
+let verify_cmd =
+  let coloring_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"COLORING" ~doc:"Saved decomposition file.")
+  in
+  let star =
+    Arg.(
+      value & flag
+      & info [ "star" ] ~doc:"Require every class to be a star forest.")
+  in
+  let lists =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "palette" ] ~docv:"K"
+          ~doc:"Also check colors lie in 0..K-1.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Re-verify a saved decomposition against a graph.")
+    Term.(const verify_run $ graph_pos $ coloring_pos $ star $ lists)
+
+let () =
+  let doc = "Nash-Williams forest decomposition in the LOCAL model" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "forestd" ~doc)
+          [ generate_cmd; info_cmd; decompose_cmd; verify_cmd ]))

@@ -1,0 +1,47 @@
+(* Quickstart: decompose a graph into (1+eps)*alpha forests with the
+   LOCAL-model algorithm of Theorem 4.6, verify the result, and inspect the
+   round ledger.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Gen = Nw_graphs.Generators
+module G = Nw_graphs.Multigraph
+module Rounds = Nw_localsim.Rounds
+module Verify = Nw_decomp.Verify
+module Coloring = Nw_decomp.Coloring
+
+let () =
+  let rng = Random.State.make [| 2021 |] in
+  (* a graph with arboricity exactly 5: the union of 5 random spanning
+     trees on 200 vertices *)
+  let alpha = 5 in
+  let g = Gen.forest_union rng 200 alpha in
+  Format.printf "input: %a, arboricity = %d@." G.pp g alpha;
+
+  (* (1 + eps) * alpha forests, here eps = 1/2 *)
+  let epsilon = 0.5 in
+  let rounds = Rounds.create () in
+  let coloring, stats =
+    Nw_core.Forest_algo.forest_decomposition g ~epsilon ~alpha ~rng ~rounds ()
+  in
+
+  (* every reported number is verified first *)
+  Verify.exn (Verify.forest_decomposition coloring);
+  let used = Verify.colors_used coloring in
+  let bound = int_of_float (ceil ((1. +. epsilon) *. float_of_int alpha)) in
+  Format.printf "forests used: %d (Nash-Williams bound %d, target %d)@." used
+    alpha bound;
+  Format.printf "leftover recolored: %d edges, stalls: %d@."
+    stats.Nw_core.Forest_algo.leftover_edges stats.Nw_core.Forest_algo.stalls;
+  Format.printf "longest augmenting sequence: %d@."
+    stats.Nw_core.Forest_algo.max_sequence_length;
+  Format.printf "@[<v>%a@]@." Rounds.pp rounds;
+
+  (* the decomposition converts to a low out-degree orientation in O(D)
+     rounds (Corollary 1.1) *)
+  let orientation = Nw_core.Orient.of_forest_decomposition coloring ~rounds in
+  Format.printf "orientation out-degree: %d (<= colors used = %d)@."
+    (Nw_graphs.Orientation.max_out_degree orientation)
+    used;
+  if used <= bound then Format.printf "OK: within the (1+eps) alpha target@."
+  else Format.printf "note: exceeded target on this run@."

@@ -1,0 +1,61 @@
+(* Scheduling data transfers as star forests (Section 5).
+
+   Edges are unit transfers between machines. A round may run any set of
+   transfers forming a star forest: each group shares one hub (a broadcast
+   or aggregation), and no machine is in two groups. The number of rounds
+   needed is the star arboricity. This example schedules a transfer graph
+   with (a) the classical 2*alpha split [folklore / AMR92] and (b) the
+   paper's Section 5 construction, which approaches alpha + o(alpha).
+
+   Run with: dune exec examples/star_scheduling.exe *)
+
+module G = Nw_graphs.Multigraph
+module Gen = Nw_graphs.Generators
+module Rounds = Nw_localsim.Rounds
+module Verify = Nw_decomp.Verify
+module Coloring = Nw_decomp.Coloring
+
+let schedule_summary name coloring =
+  Verify.exn (Verify.star_forest_decomposition coloring);
+  let used = Verify.colors_used coloring in
+  Format.printf "%-28s %d rounds (verified star forests)@." name used;
+  used
+
+let () =
+  let rng = Random.State.make [| 99 |] in
+  (* transfer workload: arboricity 8, simple *)
+  let alpha = 8 in
+  let g = Gen.forest_union_simple rng 120 alpha in
+  Format.printf "workload: %a, alpha = %d@." G.pp g alpha;
+  Format.printf "lower bound: any schedule needs >= %d rounds@." alpha;
+
+  (* classical 2-alpha schedule *)
+  let amr, _ = Nw_baseline.Amr_star.decompose g in
+  let amr_rounds = schedule_summary "2-alpha parity split:" amr in
+
+  (* Section 5 schedule *)
+  let rounds = Rounds.create () in
+  let _, fd = Nw_baseline.Gabow_westermann.arboricity g in
+  let orientation = Nw_core.Orient.of_forest_decomposition fd ~rounds in
+  let ids = Array.init (G.n g) (fun v -> v) in
+  let sfd, stats =
+    Nw_core.Star_forest.sfd g ~epsilon:0.25 ~alpha ~orientation ~ids ~rng
+      ~rounds
+  in
+  let new_rounds = schedule_summary "Section 5 matching-based:" sfd in
+  Format.printf
+    "matching deficiency: max %d per machine; %d transfers rescheduled with \
+     %d extra rounds@."
+    stats.Nw_core.Star_forest.max_deficiency
+    stats.Nw_core.Star_forest.leftover_edges
+    stats.Nw_core.Star_forest.fresh_colors;
+  if new_rounds < amr_rounds then
+    Format.printf "saved %d of %d rounds vs the classical schedule@."
+      (amr_rounds - new_rounds) amr_rounds
+  else
+    Format.printf
+      "at this toy scale the classical schedule is still competitive (%d vs \
+       %d); the matching construction's excess is O(sqrt(log max-degree) + \
+       log alpha) and overtakes 2*alpha as alpha grows — experiment E9 of \
+       the benchmark harness sweeps this crossover@."
+      new_rounds amr_rounds

@@ -1,0 +1,21 @@
+(** The folklore [2α] star-forest bound (Corollary 1.2, first part).
+
+    Every tree splits into two star forests by the depth parity of each
+    edge's upper endpoint, so an exact [α]-forest decomposition yields a
+    [2α]-star-forest decomposition. This is the classical baseline the
+    Section 5 construction beats ([α + O(√(log Δ) + log α)] colors). *)
+
+(** [of_forest_decomposition coloring]: a star-forest decomposition on
+    [2k] colors from a [k]-forest decomposition ([2*c + parity]). *)
+val of_forest_decomposition : Nw_decomp.Coloring.t -> Nw_decomp.Coloring.t
+
+(** [decompose g]: exact arboricity (Gabow–Westermann) followed by the
+    parity split; returns the [2α]-SFD and [α]. *)
+val decompose : Nw_graphs.Multigraph.t -> Nw_decomp.Coloring.t * int
+
+(** [star_arboricity_brute g]: the exact star arboricity by backtracking
+    search — exponential; a test oracle for graphs with at most ~12 edges
+    per color class and small m. Verifies Corollary 1.2's
+    [α <= α_star <= 2α] exactly on small instances.
+    @raise Invalid_argument when [m > 24]. *)
+val star_arboricity_brute : Nw_graphs.Multigraph.t -> int

@@ -1,0 +1,16 @@
+(** The Barenboim–Elkin [BE10] baseline: a [(2+eps)·α*]-forest decomposition
+    in [O(log n / eps)] rounds via the H-partition.
+
+    This is the prior state of the art that the paper's Theorem 4.6 halves;
+    experiment E7 compares the two color counts head to head. *)
+
+(** [decompose g ~epsilon ~alpha_star ~rng ~rounds] returns the forest
+    decomposition (at most [floor((2+eps)·alpha_star)] colors, one per
+    out-edge label of the acyclic orientation). *)
+val decompose :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha_star:int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t

@@ -1,0 +1,93 @@
+module G = Nw_graphs.Multigraph
+module Coloring = Nw_decomp.Coloring
+module Palette = Nw_decomp.Palette
+module Augmenting = Nw_core.Augmenting
+
+(* The stalled edge set of Algorithm 1 is the closure of {start} under
+   "add edges of C(e, c) adjacent to the current set"; its spanned vertex
+   set is the density witness (final inequality of Prop 3.3). *)
+let witness_of_stall g coloring palette start =
+  let spanned = Hashtbl.create 64 in
+  let u0, v0 = G.endpoints g start in
+  Hashtbl.replace spanned u0 ();
+  Hashtbl.replace spanned v0 ();
+  let in_set = Hashtbl.create 64 in
+  Hashtbl.replace in_set start ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let members = Hashtbl.fold (fun e () acc -> e :: acc) in_set [] in
+    List.iter
+      (fun e ->
+        let own = Coloring.color coloring e in
+        List.iter
+          (fun c ->
+            if own <> Some c then
+              match Coloring.path coloring e c with
+              | None -> ()
+              | Some path_edges ->
+                  List.iter
+                    (fun e' ->
+                      if not (Hashtbl.mem in_set e') then begin
+                        let u, v = G.endpoints g e' in
+                        if Hashtbl.mem spanned u || Hashtbl.mem spanned v
+                        then begin
+                          Hashtbl.replace in_set e' ();
+                          Hashtbl.replace spanned u ();
+                          Hashtbl.replace spanned v ();
+                          changed := true
+                        end
+                      end)
+                    path_edges)
+          (Palette.get palette e))
+      members
+  done;
+  Hashtbl.fold (fun v () acc -> v :: acc) spanned []
+
+let decompose g palette =
+  let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
+  let rec color_all = function
+    | [] -> Ok coloring
+    | e :: rest -> (
+        match Augmenting.augment_edge coloring palette ~edge:e () with
+        | Some _ -> color_all rest
+        | None -> Error (witness_of_stall g coloring palette e))
+  in
+  color_all (Coloring.uncolored coloring)
+
+let list_forest_partition g palette = decompose g palette
+
+let forest_partition g k = decompose g (Palette.full g k)
+
+let arboricity g =
+  if G.m g = 0 then (0, Coloring.create g ~colors:0)
+  else begin
+    let lo = Nw_graphs.Arboricity.density_lower_bound g in
+    let hi = max lo (Nw_graphs.Degeneracy.degeneracy g) in
+    let rec search lo hi best =
+      if lo >= hi then (hi, best)
+      else begin
+        let mid = (lo + hi) / 2 in
+        match forest_partition g mid with
+        | Ok coloring -> search lo mid coloring
+        | Error _ -> search (mid + 1) hi best
+      end
+    in
+    match forest_partition g hi with
+    | Error _ ->
+        (* the degeneracy always upper-bounds the arboricity, so the top of
+           the search range must succeed *)
+        assert false
+    | Ok coloring -> search lo hi coloring
+  end
+
+let check_witness g k vertices =
+  let members = Array.make (G.n g) false in
+  List.iter (fun v -> members.(v) <- true) vertices;
+  let nv = List.length vertices in
+  let ne =
+    G.fold_edges
+      (fun _ u v acc -> if members.(u) && members.(v) then acc + 1 else acc)
+      g 0
+  in
+  nv >= 2 && ne > k * (nv - 1)

@@ -1,0 +1,14 @@
+(** Centralized greedy baselines for forest decomposition.
+
+    [greedy g] colors edges in id order with the smallest color that does
+    not close a monochromatic cycle — the naive baseline whose color count
+    the augmentation-based algorithms improve on.
+
+    [eager g k] is the same restricted to [k] colors, leaving blocked edges
+    uncolored; used to show how far plain greediness lands from the exact
+    Nash-Williams bound. *)
+
+val greedy : Nw_graphs.Multigraph.t -> Nw_decomp.Coloring.t
+
+(** [(coloring, uncolored_count)] *)
+val eager : Nw_graphs.Multigraph.t -> int -> Nw_decomp.Coloring.t * int

@@ -1,0 +1,193 @@
+module G = Nw_graphs.Multigraph
+module Coloring = Nw_decomp.Coloring
+module Palette = Nw_decomp.Palette
+
+type sequence = (int * int) list
+
+type search_stats = {
+  iterations : int;
+  explored : int;
+  growth : (int * int) list;
+}
+
+type outcome = Found of sequence * search_stats | Stalled of search_stats
+
+let edge_allowed g within e =
+  match within with
+  | None -> true
+  | Some members ->
+      let u, v = G.endpoints g e in
+      members.(u) && members.(v)
+
+let search coloring palette ~start ?within () =
+  let g = Coloring.graph coloring in
+  (match Coloring.color coloring start with
+  | None -> ()
+  | Some _ -> invalid_arg "Augmenting.search: start edge already colored");
+  if not (edge_allowed g within start) then
+    invalid_arg "Augmenting.search: start edge outside the search region";
+  (* membership of the growing edge set E_i, and the BFS parent pointers
+     pi : edge -> parent edge (Algorithm 1 line 9) *)
+  let in_set = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  (* a vertex is "touched" when some E_i edge is incident to it; used to
+     test "adjacent to at least one edge of E_i" in O(1) *)
+  let touched = Hashtbl.create 64 in
+  let touch v = Hashtbl.replace touched v () in
+  let add_edge e =
+    Hashtbl.replace in_set e ();
+    let u, v = G.endpoints g e in
+    touch u;
+    touch v
+  in
+  add_edge start;
+  let trace_back e c =
+    (* walk pi pointers to the start edge; colors along the way are the
+       current colors of the child edges (see Prop 3.3's construction) *)
+    let rec walk e c acc =
+      let acc = (e, c) :: acc in
+      match Hashtbl.find_opt parent e with
+      | None -> acc
+      | Some p ->
+          let c_prev =
+            match Coloring.color coloring e with
+            | Some c' -> c'
+            | None -> assert false
+          in
+          walk p c_prev acc
+    in
+    walk e c []
+  in
+  let growth = ref [ (0, 1) ] in
+  let rec iterate i members =
+    (* members: current E_i as a list; process every (edge, color) pair *)
+    let found = ref None in
+    let fresh = ref [] in
+    let consider e =
+      let own_color = Coloring.color coloring e in
+      let rec colors = function
+        | [] -> ()
+        | c :: rest ->
+            if !found <> None then ()
+            else if own_color = Some c then colors rest
+            else begin
+              (match Coloring.path coloring e c with
+              | None ->
+                  (* C(e, c) = ∅: almost augmenting sequence found *)
+                  found := Some (trace_back e c)
+              | Some path_edges ->
+                  (* add path edges adjacent to E_i (and allowed) *)
+                  List.iter
+                    (fun e' ->
+                      if
+                        (not (Hashtbl.mem in_set e'))
+                        && edge_allowed g within e'
+                      then begin
+                        let u, v = G.endpoints g e' in
+                        if Hashtbl.mem touched u || Hashtbl.mem touched v then begin
+                          Hashtbl.replace in_set e' ();
+                          Hashtbl.replace parent e' e;
+                          fresh := e' :: !fresh
+                        end
+                      end)
+                    path_edges);
+              colors rest
+            end
+      in
+      colors (Palette.get palette e)
+    in
+    let rec scan = function
+      | [] -> ()
+      | e :: rest ->
+          if !found = None then begin
+            consider e;
+            scan rest
+          end
+    in
+    scan members;
+    let stats () =
+      {
+        iterations = i;
+        explored = Hashtbl.length in_set;
+        growth = List.rev !growth;
+      }
+    in
+    match !found with
+    | Some seq -> Found (seq, stats ())
+    | None ->
+        (* register the vertices of fresh edges as touched only now: the
+           paper's E_{e,c} is defined by adjacency to E_i, not E_{i+1} *)
+        List.iter
+          (fun e ->
+            let u, v = G.endpoints g e in
+            touch u;
+            touch v)
+          !fresh;
+        if !fresh = [] then Stalled (stats ())
+        else begin
+          growth := (i + 1, Hashtbl.length in_set) :: !growth;
+          iterate (i + 1) (!fresh @ members)
+        end
+  in
+  iterate 0 [ start ]
+
+let short_circuit coloring seq =
+  (* Proposition 3.4: while some e_i lies on C(e_j, c_j) with j < i-1,
+     splice out the middle. Paths refer to the unmodified coloring, so they
+     can be memoized per (edge, color). *)
+  let memo = Hashtbl.create 64 in
+  let path_mem e c =
+    match Hashtbl.find_opt memo (e, c) with
+    | Some p -> p
+    | None ->
+        let p = Coloring.path coloring e c in
+        Hashtbl.add memo (e, c) p;
+        p
+  in
+  let on_path e (ej, cj) =
+    match path_mem ej cj with
+    | None -> false
+    | Some edges -> List.mem e edges
+  in
+  let rec compress seq =
+    let arr = Array.of_list seq in
+    let l = Array.length arr in
+    let cut = ref None in
+    (* find the pair with the smallest j then largest i for a maximal cut *)
+    (try
+       for j = 0 to l - 3 do
+         for i = l - 1 downto j + 2 do
+           if !cut = None && on_path (fst arr.(i)) arr.(j) then begin
+             cut := Some (j, i);
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    match !cut with
+    | None -> seq
+    | Some (j, i) ->
+        let prefix = Array.to_list (Array.sub arr 0 (j + 1)) in
+        let suffix = Array.to_list (Array.sub arr i (l - i)) in
+        compress (prefix @ suffix)
+  in
+  compress seq
+
+let apply coloring seq =
+  (match seq with
+  | [] -> invalid_arg "Augmenting.apply: empty sequence"
+  | (e1, _) :: _ -> (
+      match Coloring.color coloring e1 with
+      | None -> ()
+      | Some _ -> invalid_arg "Augmenting.apply: head edge is colored"));
+  (* color from the tail forward (Lemma 3.1's induction); each step is
+     validated by Coloring.set's cycle check *)
+  List.iter (fun (e, c) -> Coloring.set coloring e c) (List.rev seq)
+
+let augment_edge coloring palette ~edge ?within () =
+  match search coloring palette ~start:edge ?within () with
+  | Stalled _ -> None
+  | Found (seq, stats) ->
+      let seq = short_circuit coloring seq in
+      apply coloring seq;
+      Some stats

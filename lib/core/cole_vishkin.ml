@@ -1,0 +1,96 @@
+module G = Nw_graphs.Multigraph
+module Net = Nw_localsim.Msg_net
+
+type state = { color : int; parent_color : int; child_colors : int list }
+
+let bits_needed x =
+  let rec loop b v = if v = 0 then b else loop (b + 1) (v lsr 1) in
+  max 1 (loop 0 x)
+
+(* One step of deterministic bit reduction: the new color encodes the lowest
+   bit position where [color] and [pcolor] differ, together with own bit. *)
+let reduce_color color pcolor =
+  let diff = color lxor pcolor in
+  assert (diff <> 0);
+  let rec lowest i d = if d land 1 = 1 then i else lowest (i + 1) (d lsr 1) in
+  let i = lowest 0 diff in
+  (2 * i) + ((color lsr i) land 1)
+
+let three_color g ~parent_edge ~ids ~rounds =
+  let n = G.n g in
+  if Array.length parent_edge <> n || Array.length ids <> n then
+    invalid_arg "Cole_vishkin.three_color: array size mismatch";
+  Array.iteri
+    (fun v e ->
+      if e >= 0 then ignore (G.other_endpoint g e v : int))
+    parent_edge;
+  let net =
+    Net.create g ~rounds ~init:(fun v ->
+        { color = ids.(v); parent_color = -1; child_colors = [] })
+  in
+  (* every round: each vertex broadcasts its color on every incident edge;
+     receivers split messages into the parent one and child ones. *)
+  let send v st =
+    Array.to_list
+      (Array.map (fun (_, e) -> (e, st.color)) (G.incident g v))
+  in
+  let recv v st msgs =
+    let pcolor = ref (-1) and children = ref [] in
+    List.iter
+      (fun (e, c) ->
+        if e = parent_edge.(v) then pcolor := c else children := c :: !children)
+      msgs;
+    { st with parent_color = !pcolor; child_colors = !children }
+  in
+  let exchange label = Net.round net ~label ~send ~recv in
+  let update f =
+    for v = 0 to n - 1 do
+      let st = Net.state net v in
+      Net.set_state net v { st with color = f v st }
+    done
+  in
+  (* Phase 1: bit reduction to 6 colors. The root has no parent color and
+     pretends its parent's color is its own with the lowest bit flipped. *)
+  let max_id = Array.fold_left max 0 ids in
+  let iterations =
+    (* bits shrink as L -> ceil(log2 L) + 1; iterate to the fixed point 3,
+       plus one extra application for safety. *)
+    let rec count l acc =
+      if l <= 3 then acc
+      else count (bits_needed (l - 1) + 1) (acc + 1)
+    in
+    count (bits_needed max_id) 0 + 1
+  in
+  for _ = 1 to iterations do
+    exchange "cole-vishkin/bit-reduction";
+    update (fun v st ->
+        let pcolor =
+          if parent_edge.(v) >= 0 then st.parent_color else st.color lxor 1
+        in
+        reduce_color st.color pcolor)
+  done;
+  (* Phase 2: colors are now in {0..5}; eliminate 5, 4, 3 by shift-down and
+     recolor. After a shift-down all children of any vertex share one color,
+     so a recoloring vertex is constrained by at most two colors. *)
+  for c = 5 downto 3 do
+    (* shift-down; the root picks a low color different from its own so
+       that no already-eliminated class reappears *)
+    exchange "cole-vishkin/shift-down";
+    update (fun v st ->
+        if parent_edge.(v) >= 0 then st.parent_color
+        else if st.color = 0 then 1
+        else 0);
+    (* recolor class c *)
+    exchange "cole-vishkin/recolor";
+    update (fun v st ->
+        if st.color <> c then st.color
+        else begin
+          let forbidden =
+            (if parent_edge.(v) >= 0 then [ st.parent_color ] else [])
+            @ st.child_colors
+          in
+          let rec pick x = if List.mem x forbidden then pick (x + 1) else x in
+          pick 0
+        end)
+  done;
+  Array.map (fun st -> st.color) (Net.states net)

@@ -1,0 +1,23 @@
+(** Cole–Vishkin 3-coloring of rooted forests in O(log* n) rounds [CV86].
+
+    Used by Theorem 2.1(3): each of the [t] rooted forests produced from an
+    acyclic [t]-orientation is 3-colored, and assigning every edge the color
+    of its parent endpoint splits each forest into 3 star-forests.
+
+    This is a genuine message-passing implementation on {!Nw_localsim.Msg_net}:
+    the deterministic bit-reduction runs until 6 colors remain, followed by
+    three shift-down/recolor phases down to 3 colors. *)
+
+(** [three_color g ~parent_edge ~ids ~rounds] properly 3-colors the vertices
+    of the rooted forest [g]. [parent_edge.(v)] is the edge to [v]'s parent,
+    or [-1] at roots; [ids] are distinct non-negative identifiers.
+    Colors returned are in [{0, 1, 2}] and proper along every edge of [g].
+
+    @raise Invalid_argument if [g] with [parent_edge] is not a rooted forest
+    (some vertex's parent edge not incident to it). *)
+val three_color :
+  Nw_graphs.Multigraph.t ->
+  parent_edge:int array ->
+  ids:int array ->
+  rounds:Nw_localsim.Rounds.t ->
+  int array

@@ -1,0 +1,90 @@
+module G = Nw_graphs.Multigraph
+module Palette = Nw_decomp.Palette
+module Rounds = Nw_localsim.Rounds
+
+type t = { colors : int; side : bool array array }
+
+let mpx_split g ~colors ~epsilon ~rng ~rounds =
+  if epsilon <= 0.0 then invalid_arg "Color_split.mpx_split: epsilon";
+  let n = G.n g in
+  let side = Array.init n (fun _ -> Array.make colors false) in
+  let beta = epsilon /. 10.0 in
+  (* all colors proceed in parallel in LOCAL: charge the max ledger *)
+  let sub_ledgers = ref [] in
+  for c = 0 to colors - 1 do
+    let sub = Rounds.create () in
+    sub_ledgers := sub :: !sub_ledgers;
+    let labels = Net_decomp.mpx g ~rng ~beta ~rounds:sub in
+    let coin = Hashtbl.create 64 in
+    for v = 0 to n - 1 do
+      let cluster = labels.(v) in
+      let x =
+        match Hashtbl.find_opt coin cluster with
+        | Some x -> x
+        | None ->
+            let x = Random.State.float rng 1.0 < beta in
+            Hashtbl.add coin cluster x;
+            x
+      in
+      (* x = true (probability eps/10) sends the color to side 1 *)
+      side.(v).(c) <- x
+    done
+  done;
+  Rounds.charge_max rounds !sub_ledgers;
+  { colors; side }
+
+let lll_split g ~colors ~epsilon ~alpha ~rng ~rounds =
+  if epsilon <= 0.0 then invalid_arg "Color_split.lll_split: epsilon";
+  let n = G.n g in
+  let q = epsilon /. 10.0 in
+  let sample st _v = Array.init colors (fun _ -> Random.State.float st 1.0 < q) in
+  (* bad event per edge: either induced palette too small *)
+  let threshold0 =
+    int_of_float (floor ((1.0 +. (epsilon /. 2.0)) *. float_of_int alpha))
+  in
+  let threshold1 =
+    max 1
+      (int_of_float
+         (floor (epsilon *. epsilon *. float_of_int alpha /. 200.0)))
+  in
+  let events =
+    Array.init (G.m g) (fun e ->
+        let u, v = G.endpoints g e in
+        {
+          Lll.vars = [ u; v ];
+          violated =
+            (fun read ->
+              let su = read u and sv = read v in
+              let k0 = ref 0 and k1 = ref 0 in
+              for c = 0 to colors - 1 do
+                if (not su.(c)) && not sv.(c) then incr k0;
+                if su.(c) && sv.(c) then incr k1
+              done;
+              !k0 < threshold0 || !k1 < threshold1);
+        })
+  in
+  let side =
+    Lll.solve ~num_vars:n ~sample ~events ~rng ~rounds
+      ~max_iters:(64 + (4 * n)) ()
+  in
+  { colors; side }
+
+let induced_palettes g split q =
+  let colors = split.colors in
+  let make keep_side1 =
+    let lists =
+      Array.init (G.m g) (fun e ->
+          let u, v = G.endpoints g e in
+          List.filter
+            (fun c ->
+              split.side.(u).(c) = keep_side1
+              && split.side.(v).(c) = keep_side1)
+            (Palette.get q e))
+    in
+    Palette.of_lists ~colors lists
+  in
+  (make false, make true)
+
+let sizes g split q =
+  let q0, q1 = induced_palettes g split q in
+  (Palette.min_size q0, Palette.min_size q1)

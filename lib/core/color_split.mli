@@ -1,0 +1,48 @@
+(** Vertex-color-splitting — Definition 4.7 and Theorem 4.9.
+
+    Every vertex [v] partitions the color space into [C_{v,0} ⊔ C_{v,1}];
+    the induced palettes are [Q_i(uv) = Q(uv) ∩ C_{u,i} ∩ C_{v,i}]. A
+    list-forest decomposition of some edges w.r.t. [Q_0] and of the rest
+    w.r.t. [Q_1] always combine into one valid LFD (Proposition 4.8),
+    because no color can serve a vertex on both sides.
+
+    Two randomized constructions, both giving
+    [k_0 >= (1+eps/2) alpha] and [k_1 >= Ω(eps alpha)] sized palettes:
+    - {!mpx_split} (Thm 4.9(1), needs [eps*alpha >= Ω(log n)]): one MPX
+      partial network decomposition per color; each cluster flips a
+      [Bernoulli(1 - eps/10)] coin for side 0.
+    - {!lll_split} (Thm 4.9(2), needs [eps^2 alpha >= Ω(log Δ)]):
+      independent per-vertex coins, fixed up by the distributed LLL. *)
+
+type t = {
+  colors : int;
+  side : bool array array; (** [side.(v).(c)] — [true] puts [c] in [C_{v,1}] *)
+}
+
+val mpx_split :
+  Nw_graphs.Multigraph.t ->
+  colors:int ->
+  epsilon:float ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  t
+
+val lll_split :
+  Nw_graphs.Multigraph.t ->
+  colors:int ->
+  epsilon:float ->
+  alpha:int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  t
+
+(** [induced_palettes g split q] is [(Q_0, Q_1)]. *)
+val induced_palettes :
+  Nw_graphs.Multigraph.t ->
+  t ->
+  Nw_decomp.Palette.t ->
+  Nw_decomp.Palette.t * Nw_decomp.Palette.t
+
+(** [(k_0, k_1)]: minimum induced palette sizes. *)
+val sizes :
+  Nw_graphs.Multigraph.t -> t -> Nw_decomp.Palette.t -> int * int

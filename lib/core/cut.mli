@@ -1,0 +1,73 @@
+(** The CUT procedure of Section 4.1 — Theorem 4.2.
+
+    Given a cluster core [C'] and its radius-[R] region [C''], CUT removes
+    edges of [E(C'') \ E(C')] so that no monochromatic path joins [C'] to
+    vertices outside [C''] (then augmenting sequences started inside [C']
+    can be found and verified locally). The removed ("leftover") edges must
+    stay sparse: pseudo-arboricity at most [ceil(eps*alpha)].
+
+    Three rules:
+    - [Depth_mod] (Thm 4.2(2), ordinary FD, alpha >= Ω(log n)): root every
+      monochromatic tree of the region, pick one random level offset
+      [J_c mod N], [N = floor(R/2)], per tree, and delete the tree edges at
+      those depths. Always good (cuts with probability 1).
+    - [Diam_reduce] (Thm 4.2(1), list coloring, alpha >= Ω(log n)): run the
+      Proposition 2.4 deletion process on the region with
+      [eps' = eps / (2T)]; good whenever [R] exceeds the resulting diameter
+      bound.
+    - [Sampled eta] (Thm 4.2(3,4), small alpha): conditioned sampling
+      against a fixed global [3*alpha]-orientation [J]: every vertex whose
+      deletion counter is below [ceil(eps*alpha)] deletes, with probability
+      [p = K*alpha*ln n/(eta*R)], one uniformly random eligible out-edge.
+      Good w.h.p. for the [R] of Lemma 4.4. *)
+
+type rule =
+  | Depth_mod
+  | Diam_reduce
+  | Sampled of float
+  | Disabled
+      (** no-op CUT, for ablation: Algorithm 2 then has no goodness
+          guarantee and same-class clusters may stay monochromatically
+          connected to distant vertices *)
+
+type t
+
+(** [create g rule ~epsilon ~alpha ~radius ~num_classes ~rng ~rounds] sets up
+    persistent state (the fixed orientation [J] and the per-vertex counters
+    for [Sampled]; nothing for the others). *)
+val create :
+  Nw_graphs.Multigraph.t ->
+  rule ->
+  epsilon:float ->
+  alpha:int ->
+  radius:int ->
+  num_classes:int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  t
+
+(** [execute t coloring ~core ~region ~removed] removes edges (uncolors them
+    in [coloring] and marks them in [removed]). Only edges inside [region]
+    but not inside [core] are eligible. Already-removed edges are skipped. *)
+val execute :
+  t ->
+  Nw_decomp.Coloring.t ->
+  core:bool array ->
+  region:bool array ->
+  removed:bool array ->
+  unit
+
+(** [is_good coloring ~core ~region]: no color class connects a core vertex
+    to a vertex outside the region (the "good execution" condition of
+    Algorithm 2). *)
+val is_good : Nw_decomp.Coloring.t -> core:bool array -> region:bool array -> bool
+
+(** Out-degree of the fixed orientation [J] (diagnostic; [Sampled] only). *)
+val sampling_probability : t -> float option
+
+(** Copy of the per-vertex deletion counters [L(v)] ([Sampled] only) —
+    experiment E14 inspects their distribution against Lemma 4.4. *)
+val load_counters : t -> int array option
+
+(** The overload threshold [ceil(eps*alpha)] ([Sampled] only). *)
+val overload_cap : t -> int option

@@ -1,0 +1,70 @@
+(** Diameter reduction for forest decompositions — Proposition 2.4,
+    Corollary 2.5, and Appendix B of the paper.
+
+    Given a (list-)forest decomposition, delete a sparse edge set so that
+    every remaining monochromatic tree has small diameter, then recolor the
+    deleted edges with [O(eps * alpha)] fresh colors. Two regimes:
+
+    - {b [`Log_over_eps]}: diameter [O(log n / eps)], works for any [alpha]
+      (first construction of Appendix B: random out-edge deletion on a
+      [3*alpha]-orientation plus a correction step that removes the incident
+      edges of any vertex still seeing a long monochromatic path).
+    - {b [`Inv_eps]}: diameter [O(1/eps)], needs
+      [alpha >= Ω(min(log n / eps, log Δ / eps^2))] (second construction:
+      chop every rooted tree at a random depth offset every [Θ(1/eps)]
+      levels; concentration by Chernoff or LLL).
+
+    The deletion cores are exposed separately because the CUT procedure of
+    Theorem 4.2(1) uses them without recoloring. *)
+
+(** [delete_long_paths coloring ~eligible ~epsilon ~alpha ~rng ~rounds]
+    performs the first Appendix-B deletion process on the colored subgraph:
+    every vertex flips a fair coin and, on heads, deletes
+    [ceil(eps*alpha/20)] random outgoing colored edges (w.r.t. an acyclic
+    [3*alpha*]-orientation of the colored, eligible subgraph); afterwards any
+    vertex whose monochromatic eccentricity still reaches
+    [L = ceil(20 * (ln n + 1) / eps)] deletes its incident edges of that
+    color. Only edges with [eligible.(e)] may be deleted (pass all-true
+    for Prop 2.4; Algorithm 2's CUT passes the outside-cluster mask).
+    Deleted edges are uncolored in place and returned.
+
+    Postcondition: every monochromatic path that uses only eligible edges
+    has length < [2 * L]. *)
+val delete_long_paths :
+  Nw_decomp.Coloring.t ->
+  eligible:bool array ->
+  epsilon:float ->
+  alpha:int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  int list
+
+(** [chop_depths coloring ~epsilon ~alpha ~rng ~rounds] is the second
+    Appendix-B deletion process: root every monochromatic tree, draw one
+    random offset [J in 0..z-1] per tree with [z = ceil(40/eps)], and delete
+    every edge whose lower endpoint sits at depth [≡ J (mod z)]. Returns the
+    deleted edges (uncolored in place). Every remaining monochromatic path
+    has length at most [2z = O(1/eps)]. *)
+val chop_depths :
+  Nw_decomp.Coloring.t ->
+  epsilon:float ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  int list
+
+(** [reduce coloring ~target ~epsilon ~alpha ~ids ~rng ~rounds] implements
+    Proposition 2.4 / Corollary 2.5 end to end: runs the deletion process
+    for [target] (possibly both, for [`Inv_eps]), then recolors the deleted
+    edges with fresh colors appended after the existing color space, using
+    the Theorem 2.1(3) star-forest machinery. Returns the new coloring
+    (old colors preserved on kept edges) together with the number of fresh
+    colors appended. *)
+val reduce :
+  Nw_decomp.Coloring.t ->
+  target:[ `Log_over_eps | `Inv_eps ] ->
+  epsilon:float ->
+  alpha:int ->
+  ids:int array ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * int

@@ -1,0 +1,98 @@
+(** The main distributed forest-decomposition algorithm — Algorithm 2 and
+    Theorems 4.1, 4.5, 4.6, 4.10 of the paper.
+
+    Pipeline: network decomposition of the power graph [G^(2(R+R'))]; for
+    each class, each cluster runs {!Cut} to disconnect itself
+    monochromatically from distance [R], then colors every nearby uncolored
+    edge by a local augmenting sequence (Section 3). Edges removed by CUT
+    (plus any rare augmentation stalls) form the {e leftover}, recolored at
+    the end with [O(eps*alpha)] extra colors:
+    - ordinary coloring: an H-partition forest decomposition of the leftover
+      (Theorem 4.6);
+    - list coloring: a vertex-color-splitting reserves back-up palettes
+      [Q_1] up front and the leftover gets a Theorem 2.3 LSFD on them
+      (Theorem 4.10).
+
+    Round charges follow the Theorem 4.1 accounting: the network
+    decomposition pays its own way, and each class costs
+    [O((R + R') log n)] rounds of [G]. *)
+
+type stats = {
+  classes : int;
+  clusters : int;
+  good_cuts : int; (** clusters whose CUT disconnected every color *)
+  bad_cuts : int;
+  stalls : int; (** augmentation failures, sent to the leftover *)
+  leftover_edges : int;
+  max_sequence_length : int; (** longest augmenting sequence applied *)
+  max_explored : int; (** largest Algorithm-1 edge set |E_i| *)
+  max_iterations : int; (** most Algorithm-1 growth iterations *)
+}
+
+(** [auto_cut ~n ~alpha ~max_degree ~epsilon] picks the CUT rule the way
+    Theorem 4.5 cases its complexity bounds:
+    - [alpha >= ln n] or [alpha >= ln max_degree] → [Depth_mod]
+      ([O(log^3 n / eps)] resp. [O(log^4 n / eps)] rounds);
+    - [eps*alpha >= ln max_degree] → [Sampled 0.5] (Thm 4.2(4));
+    - otherwise → [Sampled (t / (2 ln max_degree))], the optimized eta of
+      Thm 4.2(3), clamped to (0, 0.5]. *)
+val auto_cut :
+  n:int -> alpha:int -> max_degree:int -> epsilon:float -> Cut.rule
+
+(** Paper-shaped default radii [(R, R')] for Algorithm 2 (with practical
+    constants; the benchmark harness sweeps them). [R'] is the augmenting
+    search radius [Θ(log n / eps)]; [R] is the CUT radius of Theorem 4.2. *)
+val default_radii :
+  n:int ->
+  epsilon:float ->
+  alpha:int ->
+  max_degree:int ->
+  cut:Cut.rule ->
+  int * int
+
+(** [decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng
+    ~rounds] is Theorem 4.5: a partial LFD covering everything except a
+    leftover edge set of low pseudo-arboricity. Returns
+    [(coloring, removed, stats)]. *)
+val decompose_with_leftover :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  alpha:int ->
+  cut:Cut.rule ->
+  radii:int * int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * bool array * stats
+
+(** [forest_decomposition g ~epsilon ~alpha ...] is Theorem 4.6: a complete
+    [(1+eps)·alpha]-forest decomposition (color count reported via the
+    returned coloring; the harness checks it against the bound).
+    [diameter] selects the final Corollary 2.5 diameter-reduction pass. *)
+val forest_decomposition :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  ?cut:Cut.rule ->
+  ?radii:int * int ->
+  ?diameter:[ `Unbounded | `Log_over_eps | `Inv_eps ] ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  unit ->
+  Nw_decomp.Coloring.t * stats
+
+(** [list_forest_decomposition g palette ~epsilon ~alpha ~split ...] is
+    Theorem 4.10: a complete LFD from palettes of size [(1+eps)·alpha].
+    [split] picks the Theorem 4.9 construction ([`Mpx] needs
+    [eps*alpha >= Ω(log n)]; [`Lll] needs [eps^2*alpha >= Ω(log Δ)]). *)
+val list_forest_decomposition :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  alpha:int ->
+  ?split:[ `Mpx | `Lll ] ->
+  ?radii:int * int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  unit ->
+  Nw_decomp.Coloring.t * stats

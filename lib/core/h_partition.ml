@@ -1,0 +1,177 @@
+module G = Nw_graphs.Multigraph
+module O = Nw_graphs.Orientation
+module Net = Nw_localsim.Msg_net
+module Rounds = Nw_localsim.Rounds
+module Coloring = Nw_decomp.Coloring
+module Palette = Nw_decomp.Palette
+
+type t = { layer : int array; num_layers : int; threshold : int }
+
+type peel_state = { layer : int; live_deg : int }
+
+let compute g ~epsilon ~alpha_star ~rounds =
+  if epsilon <= 0.0 then invalid_arg "H_partition.compute: epsilon <= 0";
+  if alpha_star < 0 then invalid_arg "H_partition.compute: alpha_star < 0";
+  let n = G.n g in
+  let threshold =
+    int_of_float (floor ((2.0 +. epsilon) *. float_of_int alpha_star))
+  in
+  let net =
+    Net.create g ~rounds ~init:(fun v ->
+        { layer = -1; live_deg = G.degree g v })
+  in
+  (* Iteration [i]: every live vertex with live degree <= threshold joins
+     layer [i] and announces its removal on all incident edges. A vertex
+     joining at iteration [i] counts neighbors joining simultaneously, which
+     matches "at most t neighbors in H_i ∪ ... ∪ H_k". *)
+  let iteration i =
+    let send v st =
+      ignore v;
+      if st.layer = -1 && st.live_deg <= threshold then
+        Array.to_list (Array.map (fun (_, e) -> (e, ())) (G.incident g v))
+      else []
+    in
+    let recv v st msgs =
+      ignore v;
+      let st =
+        if st.layer = -1 && st.live_deg <= threshold then
+          { st with layer = i }
+        else st
+      in
+      { st with live_deg = st.live_deg - List.length msgs }
+    in
+    Net.round net ~label:"h-partition/peel" ~send ~recv
+  in
+  let all_assigned () =
+    let rec check v =
+      v >= n || ((Net.state net v).layer >= 0 && check (v + 1))
+    in
+    check 0
+  in
+  (* each iteration removes an eps/(2+eps) fraction when alpha_star is a
+     valid bound; guard generously beyond the O(log n / eps) promise. *)
+  let max_iter = 64 + (10 * (2 + int_of_float (1.0 /. epsilon)) * (1 + int_of_float (log (float_of_int (max 2 n))))) in
+  let rec loop i =
+    if all_assigned () then i
+    else if i >= max_iter then
+      failwith
+        "H_partition.compute: peeling stalled; alpha_star below the true \
+         pseudo-arboricity?"
+    else begin
+      iteration i;
+      loop (i + 1)
+    end
+  in
+  let num_layers = loop 0 in
+  let layer = Array.map (fun st -> st.layer) (Net.states net) in
+  { layer; num_layers; threshold }
+
+let normalize_ids ids =
+  (* distinct ids of any magnitude -> their ranks in 0..n-1 *)
+  let n = Array.length ids in
+  let order = Array.init n (fun v -> v) in
+  Array.sort (fun a b -> compare ids.(a) ids.(b)) order;
+  let rank = Array.make n 0 in
+  Array.iteri
+    (fun i v ->
+      if i > 0 && ids.(order.(i - 1)) = ids.(v) then
+        invalid_arg "H_partition: ids are not distinct";
+      rank.(v) <- i)
+    order;
+  rank
+
+let orientation g (t : t) ~ids =
+  let n = G.n g in
+  if Array.length ids <> n then invalid_arg "H_partition.orientation: ids size";
+  let rank_of_id = normalize_ids ids in
+  let rank = Array.init n (fun v -> (t.layer.(v) * n) + rank_of_id.(v)) in
+  O.of_total_order g rank
+
+let forests_of_orientation g o =
+  let n = G.n g in
+  let t = O.max_out_degree o in
+  let coloring = Coloring.create g ~colors:(max t 1) in
+  let parent_edges = Array.init (max t 1) (fun _ -> Array.make n (-1)) in
+  for v = 0 to n - 1 do
+    List.iteri
+      (fun j e ->
+        Coloring.set coloring e j;
+        parent_edges.(j).(v) <- e)
+      (O.out_edges o v)
+  done;
+  (coloring, parent_edges)
+
+let star_forest_decomposition g o ~ids ~rounds =
+  let coloring, parent_edges = forests_of_orientation g o in
+  let t = Coloring.colors coloring in
+  (* Cole-Vishkin on each forest; in LOCAL they run concurrently, so charge
+     the maximum ledger across forests. *)
+  let out = Coloring.create g ~colors:(3 * t) in
+  let sub_ledgers = ref [] in
+  for j = 0 to t - 1 do
+    let sub_rounds = Rounds.create () in
+    sub_ledgers := sub_rounds :: !sub_ledgers;
+    let keep = Array.make (G.m g) false in
+    G.fold_edges
+      (fun e _ _ () ->
+        if Coloring.color coloring e = Some j then keep.(e) <- true)
+      g ();
+    let forest_graph, emap = G.subgraph_of_edges g keep in
+    (* translate parent edges into the subgraph's edge ids *)
+    let old_to_new = Hashtbl.create (Array.length emap) in
+    Array.iteri (fun new_e old_e -> Hashtbl.add old_to_new old_e new_e) emap;
+    let parent_edge =
+      Array.map
+        (fun e ->
+          if e < 0 then -1
+          else match Hashtbl.find_opt old_to_new e with
+            | Some e' -> e'
+            | None -> -1)
+        parent_edges.(j)
+    in
+    let vcolors =
+      Cole_vishkin.three_color forest_graph ~parent_edge ~ids
+        ~rounds:sub_rounds
+    in
+    (* edge color = color of the parent endpoint: the child endpoint of the
+       edge is the vertex whose parent edge it is. *)
+    Array.iteri
+      (fun new_e old_e ->
+        let u, v = G.endpoints forest_graph new_e in
+        let parent =
+          if parent_edge.(u) = new_e then v
+          else begin
+            assert (parent_edge.(v) = new_e);
+            u
+          end
+        in
+        Coloring.set out old_e ((3 * j) + vcolors.(parent)))
+      emap
+  done;
+  Rounds.charge_max rounds !sub_ledgers;
+  out
+
+let list_forest_decomposition g o palette ~rounds =
+  let t = O.max_out_degree o in
+  if Palette.min_size palette < t && G.m g > 0 then
+    invalid_arg "H_partition.list_forest_decomposition: palettes too small";
+  let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
+  for v = 0 to G.n g - 1 do
+    let taken = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let rec pick = function
+          | [] ->
+              invalid_arg
+                "H_partition.list_forest_decomposition: palette exhausted"
+          | c :: rest -> if Hashtbl.mem taken c then pick rest else c
+        in
+        let c = pick (Palette.get palette e) in
+        Hashtbl.add taken c ();
+        Coloring.set coloring e c)
+      (O.out_edges o v)
+  done;
+  (* vertices act only on their own out-edges: a single communication round
+     suffices to tell the other endpoints. *)
+  Rounds.charge rounds ~label:"h-partition/list-forest" 1;
+  coloring

@@ -1,0 +1,49 @@
+module Rounds = Nw_localsim.Rounds
+
+type 'a event = { vars : int list; violated : (int -> 'a) -> bool }
+
+let solve ?(strict = true) ~num_vars ~sample ~events ~rng ~rounds ~max_iters () =
+  let vals = Array.init num_vars (fun v -> sample rng v) in
+  Rounds.charge rounds ~label:"lll/sample" 1;
+  (* events sharing a variable are neighbors in the dependency graph *)
+  let events_of_var = Array.make num_vars [] in
+  Array.iteri
+    (fun i ev ->
+      List.iter (fun v -> events_of_var.(v) <- i :: events_of_var.(v)) ev.vars)
+    events;
+  let read v = vals.(v) in
+  let violated_now i = events.(i).violated read in
+  let rec iterate iter =
+    let violated =
+      Array.to_list
+        (Array.mapi (fun i _ -> if violated_now i then Some i else None) events)
+      |> List.filter_map Fun.id
+    in
+    if violated = [] then ()
+    else if iter >= max_iters then
+      if strict then failwith "Lll.solve: resampling did not converge"
+      else ()
+    else begin
+      let violated_set = Hashtbl.create 64 in
+      List.iter (fun i -> Hashtbl.replace violated_set i ()) violated;
+      (* local minima by index among violated dependency-neighbors resample *)
+      let is_local_min i =
+        List.for_all
+          (fun v ->
+            List.for_all
+              (fun j -> j >= i || not (Hashtbl.mem violated_set j))
+              events_of_var.(v))
+          events.(i).vars
+      in
+      let winners = List.filter is_local_min violated in
+      assert (winners <> []);
+      List.iter
+        (fun i ->
+          List.iter (fun v -> vals.(v) <- sample rng v) events.(i).vars)
+        winners;
+      Rounds.charge rounds ~label:"lll/resample" 1;
+      iterate (iter + 1)
+    end
+  in
+  iterate 0;
+  vals

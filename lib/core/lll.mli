@@ -1,0 +1,38 @@
+(** Distributed Lovász Local Lemma via Moser–Tardos resampling [CPS17].
+
+    Variables live at vertices (one variable blob per vertex); each bad
+    event depends on a bounded set of nearby vertices and is locally
+    checkable. Each round, every violated event that is a local minimum
+    (by event index) among its violated neighbors resamples its variables;
+    under the polynomial criterion [e p d^2 <= 1 - Ω(1)] this terminates in
+    [O(log n)] rounds w.h.p., which is what the paper's uses assume
+    (Lemma 5.2/5.3 color-set selection, Prop 2.4 / Thm 4.9 bad events). *)
+
+type 'a event = {
+  vars : int list; (** vertices whose variables the event reads *)
+  violated : (int -> 'a) -> bool; (** true when the bad event holds *)
+}
+
+(** [solve ~num_vars ~sample ~events ~rng ~rounds ~max_iters] draws
+    [vals.(v) = sample rng v] for every vertex, then runs resampling rounds
+    until no event is violated. Returns the final assignment.
+
+    Charges one round per resampling iteration plus one for the initial
+    sampling (event radius is assumed O(1); callers with wider events
+    should scale the ledger themselves).
+
+    When [strict] (default), raises [Failure] if [max_iters] rounds do not
+    suffice (the LLL criterion was presumably violated); with
+    [~strict:false] the current assignment is returned anyway — callers
+    with a graceful degradation path (e.g. the star-forest construction,
+    which can always dump unmatched edges into its leftover) use this. *)
+val solve :
+  ?strict:bool ->
+  num_vars:int ->
+  sample:(Random.State.t -> int -> 'a) ->
+  events:'a event array ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  max_iters:int ->
+  unit ->
+  'a array

@@ -1,0 +1,106 @@
+module G = Nw_graphs.Multigraph
+module O = Nw_graphs.Orientation
+module Coloring = Nw_decomp.Coloring
+module Palette = Nw_decomp.Palette
+module Rounds = Nw_localsim.Rounds
+
+let greedy_degeneracy g palette =
+  let d, order = Nw_graphs.Degeneracy.ordering g in
+  if Palette.min_size palette < 2 * d && G.m g > 0 then
+    invalid_arg "Lsfd.greedy_degeneracy: palettes smaller than 2*degeneracy";
+  let rank = Array.make (G.n g) 0 in
+  Array.iteri (fun i v -> rank.(v) <- i) order;
+  let orientation = O.of_total_order g rank in
+  (* process edges by decreasing tail rank: every out-edge of an edge's head
+     is colored before the edge itself, so avoiding the colors of already
+     colored out-edges at both endpoints yields the Theorem 2.2 invariant *)
+  let edges = Array.init (G.m g) (fun e -> e) in
+  Array.sort
+    (fun e1 e2 -> compare rank.(O.tail orientation e2) rank.(O.tail orientation e1))
+    edges;
+  let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
+  let color_of e =
+    match Coloring.color coloring e with Some c -> [ c ] | None -> []
+  in
+  Array.iter
+    (fun e ->
+      let u, v = G.endpoints g e in
+      let forbidden =
+        List.concat_map color_of (O.out_edges orientation u)
+        @ List.concat_map color_of (O.out_edges orientation v)
+      in
+      let rec pick = function
+        | [] -> invalid_arg "Lsfd.greedy_degeneracy: palette exhausted"
+        | c :: rest -> if List.mem c forbidden then pick rest else c
+      in
+      Coloring.set coloring e (pick (Palette.get palette e)))
+    edges;
+  coloring
+
+let distributed g palette ~epsilon ~alpha_star ~rng ~rounds =
+  let required = int_of_float (floor ((4.0 +. epsilon) *. float_of_int alpha_star)) - 1 in
+  if Palette.min_size palette < required && G.m g > 0 then
+    invalid_arg "Lsfd.distributed: palettes too small";
+  let n = G.n g in
+  let hp =
+    H_partition.compute g ~epsilon:(epsilon /. 10.) ~alpha_star ~rounds
+  in
+  let ids = Array.init n (fun v -> v) in
+  let orientation = H_partition.orientation g hp ~ids in
+  let layer v = hp.H_partition.layer.(v) in
+  let min_layer e =
+    let u, v = G.endpoints g e in
+    min (layer u) (layer v)
+  in
+  let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
+  (* network decomposition of G^3 shared by all layers *)
+  let nd = Net_decomp.compute g ~rng ~rounds ~distance:3 in
+  let member_cluster = nd.Net_decomp.cluster_of in
+  (* color edge e from its residual palette: avoid colors of already-colored
+     out-edges at both endpoints and of already-colored edges of the same
+     layer sharing an endpoint *)
+  let color_edge e =
+    let u, v = G.endpoints g e in
+    let forbidden = Hashtbl.create 16 in
+    let forbid e' =
+      if e' <> e then
+        match Coloring.color coloring e' with
+        | Some c -> Hashtbl.replace forbidden c ()
+        | None -> ()
+    in
+    List.iter forbid (O.out_edges orientation u);
+    List.iter forbid (O.out_edges orientation v);
+    Array.iter (fun (_, e') -> if min_layer e' = min_layer e then forbid e') (G.incident g u);
+    Array.iter (fun (_, e') -> if min_layer e' = min_layer e then forbid e') (G.incident g v);
+    let rec pick = function
+      | [] -> invalid_arg "Lsfd.distributed: residual palette exhausted"
+      | c :: rest -> if Hashtbl.mem forbidden c then pick rest else c
+    in
+    Coloring.set coloring e (pick (Palette.get palette e))
+  in
+  (* process layers top-down; inside a layer, clusters of one ND class go in
+     parallel (simulated sequentially; non-interference is guaranteed by the
+     distance-3 separation) *)
+  for j = hp.H_partition.num_layers - 1 downto 0 do
+    for z = 0 to nd.Net_decomp.num_classes - 1 do
+      let in_class v = nd.Net_decomp.class_of.(v) = z in
+      G.fold_edges
+        (fun e u v () ->
+          if
+            min_layer e = j
+            && Coloring.color coloring e = None
+            && (* the lower-layer endpoint's cluster owns the edge; ties by
+                  smaller cluster id *)
+            (let owner =
+               if layer u < layer v then u
+               else if layer v < layer u then v
+               else if member_cluster.(u) <= member_cluster.(v) then u
+               else v
+             in
+             in_class owner)
+          then color_edge e)
+        g ();
+      Rounds.charge rounds ~label:"lsfd/layer-class" 3
+    done
+  done;
+  coloring

@@ -1,0 +1,33 @@
+(** List star-forest decomposition with O(α) colors — Theorems 2.2 / 2.3.
+
+    [greedy_degeneracy] is the existential construction of Theorem 2.2: with
+    an acyclic [d]-orientation, color edges backward along the elimination
+    order, avoiding the colors of all out-edges at both endpoints; palettes
+    of size [2d] always suffice and the result is a star forest per color.
+
+    [distributed] is Theorem 2.3: a [(4+eps)α* - 1]-LSFD in the LOCAL model.
+    It uses the H-partition (layers [H_1..H_k]), processes layers from the
+    top down, and colors each layer's edge set with a proper list-edge
+    coloring of the residual palettes; simultaneity inside a layer is
+    resolved by coloring cluster-by-cluster inside a network decomposition
+    of [G^3] (the third algorithm of Appendix A, [O(log^3 n / eps)]
+    rounds). *)
+
+(** [greedy_degeneracy g palette]: centralized Theorem 2.2. Requires
+    palettes of size at least [2 * degeneracy g].
+    @raise Invalid_argument if some palette is smaller than [2d]. *)
+val greedy_degeneracy :
+  Nw_graphs.Multigraph.t -> Nw_decomp.Palette.t -> Nw_decomp.Coloring.t
+
+(** [distributed g palette ~epsilon ~alpha_star ~rng ~rounds]: Theorem 2.3.
+    Requires palettes of size at least [floor((4+eps) alpha_star) - 1].
+    Every color class of the result is a star forest and every edge is
+    colored from its palette. *)
+val distributed :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  alpha_star:int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t

@@ -1,0 +1,61 @@
+(** Network decompositions.
+
+    Two randomized constructions used by the paper:
+
+    - A {e (O(log n), O(log n))-network decomposition} in the style of
+      Linial–Saks [LS93] (the paper cites [LS93, ABCP96, EN16]): the vertex
+      set is split into [O(log n)] classes; inside one class, distinct
+      clusters are non-adjacent, and every cluster has weak diameter
+      [O(log n)]. Algorithm 2 needs this on a power graph [G^k]; the
+      [distance] parameter runs the construction on [G^k] {e implicitly}
+      (adjacency = G-distance at most [k]) without materializing the power
+      graph, and charges the [k]-fold simulation overhead to the ledger.
+
+    - The {e (O(log n / beta), beta) partial network decomposition} of
+      Miller–Peng–Xu [MPX13]: one partition of the vertices into clusters of
+      strong diameter [O(log n / beta)] w.h.p., where each edge is cut
+      (endpoints in different clusters) with probability at most [beta].
+      Used by the vertex-color-splitting step (Theorem 4.9). *)
+
+type t = {
+  num_classes : int;
+  class_of : int array; (** vertex -> class index *)
+  cluster_of : int array; (** vertex -> cluster id (global numbering) *)
+  clusters : int list array; (** cluster id -> member vertices *)
+  cluster_class : int array; (** cluster id -> its class *)
+}
+
+(** [compute g ~rng ~rounds ~distance] builds the Linial–Saks style
+    decomposition of [G^distance].
+
+    Guarantees: same-class clusters are at [G]-distance greater than
+    [distance] from each other; every cluster has weak radius at most
+    [(2 + 2*ceil(log2 n)) * distance] in [G]; w.h.p. at most
+    [O(log n)] classes (the construction fails rather than exceed
+    [4*ceil(log2 n) + 16] classes). Charges [O(distance * log^2 n)]
+    rounds. *)
+val compute :
+  Nw_graphs.Multigraph.t ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  distance:int ->
+  t
+
+(** Largest weak diameter (distances in [g]) over all clusters; diagnostic,
+    O(n*m). *)
+val max_cluster_weak_diameter : Nw_graphs.Multigraph.t -> t -> int
+
+(** [check_valid g ~distance t] verifies the structural properties: clusters
+    of one class are pairwise at [G]-distance > [distance]; every vertex is
+    in exactly one cluster; cluster ids are consistent. *)
+val check_valid :
+  Nw_graphs.Multigraph.t -> distance:int -> t -> (unit, string) result
+
+(** [mpx g ~rng ~beta ~rounds] is the MPX partition: returns the cluster
+    label of every vertex. Charges [O(log n / beta)] rounds. *)
+val mpx :
+  Nw_graphs.Multigraph.t ->
+  rng:Random.State.t ->
+  beta:float ->
+  rounds:Nw_localsim.Rounds.t ->
+  int array

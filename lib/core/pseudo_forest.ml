@@ -1,0 +1,19 @@
+module G = Nw_graphs.Multigraph
+module O = Nw_graphs.Orientation
+
+let of_orientation o =
+  let g = O.graph o in
+  let k = max 1 (O.max_out_degree o) in
+  let assignment = Array.make (G.m g) 0 in
+  for v = 0 to G.n g - 1 do
+    List.iteri (fun i e -> assignment.(e) <- i) (O.out_edges o v)
+  done;
+  (assignment, k)
+
+let decompose g ~epsilon ~alpha ~rng ~rounds () =
+  let o, _stats = Orient.orientation g ~epsilon ~alpha ~rng ~rounds () in
+  let assignment, k = of_orientation o in
+  (match Nw_decomp.Verify.pseudo_forest_assignment g assignment ~k with
+  | Ok () -> ()
+  | Error msg -> failwith ("Pseudo_forest.decompose: " ^ msg));
+  (assignment, k)

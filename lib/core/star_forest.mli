@@ -1,0 +1,53 @@
+(** Star-forest decomposition for simple graphs — Section 5 of the paper
+    (Lemmas 5.2, 5.3, Proposition 5.1, Theorem 5.4).
+
+    Construction: with a [t]-orientation ([t = ceil((1+eps) alpha)]), every
+    vertex [v] selects a color set [C(v)] and builds the bipartite graph
+    [H_v] between colors and out-neighbors, with an edge [(i, u)] whenever
+    [i ∈ C(v) \ C(u)] (and [i ∈ Q(vu)] for lists). Coloring the out-edges
+    along a maximum matching of [H_v] makes every color class a star forest
+    (Proposition 5.1): color-[i] centers are vertices with [i ∉ C(u)],
+    leaves have [i ∈ C(v)].
+
+    - Ordinary SFD (Lemma 5.2): [C(v)] is a uniformly random [alpha]-subset
+      of [t] colors; w.h.p. (via the LLL) every [H_v] has a near-perfect
+      matching and the [O(eps*alpha)] unmatched edges per vertex are
+      recolored with fresh star colors.
+    - List SFD (Lemma 5.3): each color joins [C(v)] independently with
+      probability [1 - eps]; with palettes of size [(1+200eps)·alpha] every
+      [H_v] has a perfect matching w.h.p., so nothing is left over. *)
+
+type stats = {
+  max_deficiency : int; (** worst [|A(v)| - matching size] over vertices *)
+  leftover_edges : int;
+  fresh_colors : int; (** colors appended to recolor the leftover *)
+  lll_converged : bool;
+}
+
+(** [sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds]: Theorem 5.4(1).
+    [orientation] must have max out-degree at most [ceil((1+eps)·alpha)].
+    @raise Invalid_argument on multigraphs. *)
+val sfd :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  orientation:Nw_graphs.Orientation.t ->
+  ids:int array ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * stats
+
+(** [lsfd g palette ~epsilon ~orientation ~rng ~rounds]: Theorem 5.4(2) via
+    Lemma 5.3. Palettes should have size at least
+    [(1 + 200*eps) * alpha]. Retries the whole selection a few times if the
+    LLL leaves deficient vertices; raises [Failure] if perfect matchings
+    never materialize (parameters outside the lemma's regime).
+    @raise Invalid_argument on multigraphs. *)
+val lsfd :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  orientation:Nw_graphs.Orientation.t ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * stats

@@ -1,0 +1,194 @@
+module G = Nw_graphs.Multigraph
+
+type t = {
+  g : G.t;
+  colors : int;
+  assign : int array; (* edge -> color or -1 *)
+  adj : (int * int) list array array; (* color -> vertex -> (nbr, edge) *)
+  mutable colored : int;
+  (* timestamped BFS scratch, shared across queries *)
+  mark : int array;
+  via : int array; (* vertex -> edge used to reach it in current BFS *)
+  pred : int array; (* vertex -> predecessor vertex in current BFS *)
+  mutable stamp : int;
+}
+
+let create g ~colors =
+  if colors < 0 then invalid_arg "Coloring.create: negative color count";
+  let n = G.n g in
+  {
+    g;
+    colors;
+    assign = Array.make (G.m g) (-1);
+    adj = Array.init colors (fun _ -> Array.make n []);
+    colored = 0;
+    mark = Array.make n 0;
+    via = Array.make n (-1);
+    pred = Array.make n (-1);
+    stamp = 0;
+  }
+
+let graph t = t.g
+let colors t = t.colors
+
+let color t e =
+  let c = t.assign.(e) in
+  if c < 0 then None else Some c
+
+let colored_count t = t.colored
+
+let uncolored t =
+  let acc = ref [] in
+  for e = Array.length t.assign - 1 downto 0 do
+    if t.assign.(e) < 0 then acc := e :: !acc
+  done;
+  !acc
+
+(* Bidirectional BFS inside color class [c] between [src] and [dst], never
+   crossing edge [skip]. Expands the smaller frontier and stops as soon as
+   either side's component is exhausted, so deciding "disconnected" costs
+   only the smaller component — the common case during augmentation, where
+   one endpoint is isolated in most colors.
+
+   Returns [None] when disconnected; [Some (x, w, e)] when the two searches
+   met via edge [e] between [x] (src side) and [w] (dst side). The
+   [via]/[pred] scratch then encodes both half-paths. *)
+let bfs_color t c src dst skip =
+  (* two stamps: src side = stamp, dst side = stamp + 1 *)
+  t.stamp <- t.stamp + 2;
+  let s_src = t.stamp - 1 and s_dst = t.stamp in
+  t.mark.(src) <- s_src;
+  t.via.(src) <- -1;
+  t.pred.(src) <- -1;
+  t.mark.(dst) <- s_dst;
+  t.via.(dst) <- -1;
+  t.pred.(dst) <- -1;
+  let frontier_src = ref [ src ] and frontier_dst = ref [ dst ] in
+  let meeting = ref None in
+  (* expand one side's whole frontier; my/other are the side stamps; a
+     meeting is always recorded as (src-side vertex, dst-side vertex, e) *)
+  let expand frontier my other ~from_src =
+    let next = ref [] in
+    List.iter
+      (fun x ->
+        if !meeting = None then
+          List.iter
+            (fun (w, e) ->
+              if !meeting = None && e <> skip then
+                if t.mark.(w) = other then
+                  meeting :=
+                    Some (if from_src then (x, w, e) else (w, x, e))
+                else if t.mark.(w) <> my then begin
+                  t.mark.(w) <- my;
+                  t.via.(w) <- e;
+                  t.pred.(w) <- x;
+                  next := w :: !next
+                end)
+            t.adj.(c).(x))
+      !frontier;
+    frontier := !next
+  in
+  let rec loop () =
+    if !meeting <> None then !meeting
+    else if !frontier_src = [] || !frontier_dst = [] then None
+    else begin
+      if List.compare_lengths !frontier_src !frontier_dst <= 0 then
+        expand frontier_src s_src s_dst ~from_src:true
+      else expand frontier_dst s_dst s_src ~from_src:false;
+      loop ()
+    end
+  in
+  loop ()
+
+let would_close_cycle t e c =
+  if c < 0 || c >= t.colors then
+    invalid_arg "Coloring.would_close_cycle: color out of range";
+  let u, v = G.endpoints t.g e in
+  bfs_color t c u v e <> None
+
+let remove_from_adj t e =
+  let c = t.assign.(e) in
+  if c >= 0 then begin
+    let u, v = G.endpoints t.g e in
+    let strip x =
+      t.adj.(c).(x) <- List.filter (fun (_, e') -> e' <> e) t.adj.(c).(x)
+    in
+    strip u;
+    strip v
+  end
+
+let unset t e =
+  if t.assign.(e) >= 0 then begin
+    remove_from_adj t e;
+    t.assign.(e) <- -1;
+    t.colored <- t.colored - 1
+  end
+
+let set t e c =
+  if c < 0 || c >= t.colors then
+    invalid_arg "Coloring.set: color out of range";
+  if t.assign.(e) <> c then begin
+    if would_close_cycle t e c then
+      invalid_arg "Coloring.set: would close a cycle";
+    unset t e;
+    let u, v = G.endpoints t.g e in
+    t.adj.(c).(u) <- (v, e) :: t.adj.(c).(u);
+    t.adj.(c).(v) <- (u, e) :: t.adj.(c).(v);
+    t.assign.(e) <- c;
+    t.colored <- t.colored + 1
+  end
+
+let path t e c =
+  if c < 0 || c >= t.colors then invalid_arg "Coloring.path: color out of range";
+  if t.assign.(e) = c then Some [ e ]
+  else begin
+    let u, v = G.endpoints t.g e in
+    match bfs_color t c u v e with
+    | None -> None
+    | Some (x, w, mid) ->
+        (* half-path from a meeting endpoint back to its root *)
+        let rec walk stop_at y acc =
+          if y = stop_at then acc else walk stop_at t.pred.(y) (t.via.(y) :: acc)
+        in
+        Some (walk u x [] @ (mid :: walk v w []))
+  end
+
+let component_edges t v c =
+  if c < 0 || c >= t.colors then
+    invalid_arg "Coloring.component_edges: color out of range";
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let q = Queue.create () in
+  t.mark.(v) <- stamp;
+  Queue.add v q;
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    List.iter
+      (fun (w, e) ->
+        if t.mark.(w) <> stamp then begin
+          t.mark.(w) <- stamp;
+          acc := e :: !acc;
+          Queue.add w q
+        end)
+      t.adj.(c).(u)
+  done;
+  !acc
+
+let colored_incident t v c = t.adj.(c).(v)
+
+let to_array t =
+  Array.map (fun c -> if c < 0 then None else Some c) t.assign
+
+let of_array g ~colors a =
+  if Array.length a <> G.m g then
+    invalid_arg "Coloring.of_array: length mismatch";
+  let t = create g ~colors in
+  Array.iteri (fun e c -> match c with None -> () | Some c -> set t e c) a;
+  t
+
+let copy t = of_array t.g ~colors:t.colors (to_array t)
+
+let subgraph t c =
+  let keep = Array.map (fun c' -> c' = c) t.assign in
+  G.subgraph_of_edges t.g keep

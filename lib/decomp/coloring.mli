@@ -1,0 +1,63 @@
+(** Partial edge colorings maintained as forests per color.
+
+    This is the working state of every decomposition algorithm: a partial
+    map from edges to colors such that each color class is kept an acyclic
+    edge set. The per-color adjacency structure supports the path query
+    [C(e, c)] — the unique path between the endpoints of [e] inside the
+    color-[c] forest — which drives the augmenting-sequence machinery of
+    Section 3 of the paper.
+
+    Invariant (enforced on every {!set}): each color class is a forest. *)
+
+type t
+
+(** [create g ~colors] is the empty partial coloring of [g]'s edges with
+    color space [0..colors-1]. *)
+val create : Nw_graphs.Multigraph.t -> colors:int -> t
+
+val graph : t -> Nw_graphs.Multigraph.t
+val colors : t -> int
+
+val color : t -> int -> int option
+
+(** Number of currently colored edges. *)
+val colored_count : t -> int
+
+(** [uncolored t] lists the uncolored edge ids, ascending. *)
+val uncolored : t -> int list
+
+(** [would_close_cycle t e c] holds when the endpoints of [e] are already
+    connected inside the color-[c] forest by edges other than [e]. *)
+val would_close_cycle : t -> int -> int -> bool
+
+(** [set t e c] colors edge [e] with [c], first removing any previous color.
+    @raise Invalid_argument if this closes a cycle in color [c]. *)
+val set : t -> int -> int -> unit
+
+(** [unset t e] removes the color of [e] (no-op when uncolored). *)
+val unset : t -> int -> unit
+
+(** [path t e c] is [C(e, c)]: the edge-id path joining the endpoints of [e]
+    inside the color-[c] forest, or [None] when they are disconnected.
+    If [e] itself is colored [c] the result is [Some [e]]. *)
+val path : t -> int -> int -> int list option
+
+(** [component_edges t v c] lists the edges of the color-[c] tree containing
+    vertex [v] (empty when [v] is isolated in that color). *)
+val component_edges : t -> int -> int -> int list
+
+(** Per-vertex incident edges of one color: [(neighbor, edge)] list. *)
+val colored_incident : t -> int -> int -> (int * int) list
+
+(** Snapshot of all edge colors ([None] = uncolored). Fresh array. *)
+val to_array : t -> int option array
+
+(** [of_array g ~colors a] rebuilds a coloring from a snapshot.
+    @raise Invalid_argument if some class is not a forest. *)
+val of_array : Nw_graphs.Multigraph.t -> colors:int -> int option array -> t
+
+val copy : t -> t
+
+(** [subgraph t c] is the color-[c] forest as a graph on all of [g]'s
+    vertices, with the map from new edge ids to original ids. *)
+val subgraph : t -> int -> Nw_graphs.Multigraph.t * int array

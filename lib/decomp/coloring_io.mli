@@ -1,0 +1,16 @@
+(** Serialization of decompositions.
+
+    Format: a header [colors <k>] then one [<edge_id> <color>] line per
+    colored edge; [#] comments allowed. Together with the edge-list graph
+    format this lets the CLI save a decomposition and re-verify it later
+    (or verify one produced by another tool). *)
+
+val to_string : Coloring.t -> string
+
+(** [of_string g s] rebuilds the coloring over [g].
+    @raise Failure with a line-numbered message on malformed input, and
+    [Invalid_argument] if the assignment closes a monochromatic cycle. *)
+val of_string : Nw_graphs.Multigraph.t -> string -> Coloring.t
+
+val write : string -> Coloring.t -> unit
+val read : string -> Nw_graphs.Multigraph.t -> Coloring.t

@@ -1,0 +1,39 @@
+module G = Nw_graphs.Multigraph
+
+type t = { colors : int; q : int list array }
+
+let full g k =
+  if k < 0 then invalid_arg "Palette.full: negative color count";
+  let all = List.init k (fun c -> c) in
+  { colors = k; q = Array.make (G.m g) all }
+
+let of_lists ~colors q =
+  Array.iter
+    (fun l ->
+      let rec check = function
+        | [] -> ()
+        | [ c ] ->
+            if c < 0 || c >= colors then
+              invalid_arg "Palette.of_lists: color out of range"
+        | c1 :: (c2 :: _ as rest) ->
+            if c1 < 0 || c1 >= colors then
+              invalid_arg "Palette.of_lists: color out of range";
+            if c1 >= c2 then
+              invalid_arg "Palette.of_lists: palette not sorted strict";
+            check rest
+      in
+      check l)
+    q;
+  { colors; q = Array.copy q }
+
+let color_space t = t.colors
+let edges t = Array.length t.q
+let get t e = t.q.(e)
+let mem t e c = List.mem c t.q.(e)
+
+let min_size t =
+  if Array.length t.q = 0 then 0
+  else Array.fold_left (fun acc l -> min acc (List.length l)) max_int t.q
+
+let filter t f =
+  { t with q = Array.mapi (fun e l -> List.filter (f e) l) t.q }

@@ -1,0 +1,30 @@
+(** Per-edge color palettes for list-forest decomposition.
+
+    Colors are integers in [0 .. colors-1]. An edge may only ever receive a
+    color from its palette [Q(e)] (condition (A5) of the paper's augmenting
+    sequences). Ordinary k-coloring is the palette [Q(e) = 0..k-1]. *)
+
+type t
+
+(** [full g k]: every edge gets the palette [{0, .., k-1}]. *)
+val full : Nw_graphs.Multigraph.t -> int -> t
+
+(** [of_lists ~colors q]: explicit per-edge palettes; each list must be
+    sorted, duplicate-free, and within range. *)
+val of_lists : colors:int -> int list array -> t
+
+(** Size of the color space [|C|]. *)
+val color_space : t -> int
+
+(** Number of edges covered. *)
+val edges : t -> int
+
+val get : t -> int -> int list
+val mem : t -> int -> int -> bool
+
+(** Smallest palette size over all edges; 0 when there are no edges. *)
+val min_size : t -> int
+
+(** [filter t f] keeps in each palette [Q(e)] only the colors [c] with
+    [f e c = true]. *)
+val filter : t -> (int -> int -> bool) -> t

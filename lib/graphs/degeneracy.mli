@@ -1,0 +1,18 @@
+(** Degeneracy (k-core) ordering.
+
+    The degeneracy [d] of a graph is the least value such that every subgraph
+    has a vertex of degree at most [d]; it admits an acyclic [d]-orientation
+    (orient each edge toward the later vertex in the elimination order). For
+    multigraphs parallel edges all count toward the degree. *)
+
+(** [ordering g] computes the degeneracy elimination order by repeatedly
+    removing a minimum-degree vertex. Returns [(degeneracy, order)] where
+    [order.(i)] is the [i]-th vertex removed. *)
+val ordering : Multigraph.t -> int * int array
+
+val degeneracy : Multigraph.t -> int
+
+(** Acyclic orientation witnessing the degeneracy: each edge points from the
+    earlier-removed endpoint to the later-removed one, so out-degree is at
+    most the degeneracy. *)
+val orientation : Multigraph.t -> Orientation.t

@@ -1,0 +1,99 @@
+(** Graph families used by tests, examples, and the benchmark harness.
+
+    Every generator documents what is known about the arboricity of its
+    output; families with arboricity known *exactly by construction* are the
+    backbone of the experiment harness. All randomness is taken from an
+    explicit [Random.State.t] so every experiment is reproducible. *)
+
+(** {1 Deterministic families} *)
+
+(** Simple path on [n] vertices. α = 1 for [n >= 2]. *)
+val path : int -> Multigraph.t
+
+(** Cycle on [n >= 3] vertices. α = 2 (one tree cannot hold n edges). *)
+val cycle : int -> Multigraph.t
+
+(** Complete graph K_n. α = ⌈n/2⌉. *)
+val complete : int -> Multigraph.t
+
+(** Complete bipartite K_{a,b}. *)
+val complete_bipartite : int -> int -> Multigraph.t
+
+(** [grid rows cols]: 2-dimensional grid. α = 2 for nontrivial sizes. *)
+val grid : int -> int -> Multigraph.t
+
+(** Star with [n] leaves ([n+1] vertices). α = 1. *)
+val star : int -> Multigraph.t
+
+(** [line_multigraph len mult] is the lower-bound family of Proposition C.1:
+    [len] vertices on a line with [mult] parallel edges between consecutive
+    vertices. α = [mult] exactly; any (1+ε)·mult-FD needs diameter Ω(1/ε). *)
+val line_multigraph : int -> int -> Multigraph.t
+
+(** Complete binary tree with [depth] levels of edges. α = 1. *)
+val binary_tree : int -> Multigraph.t
+
+(** [caterpillar spine legs]: a path of [spine] vertices, each carrying
+    [legs] pendant leaves. α = 1. *)
+val caterpillar : int -> int -> Multigraph.t
+
+(** [hypercube d]: the d-dimensional hypercube Q_d on [2^d] vertices.
+    α = ⌈d·2^(d-1) / (2^d - 1)⌉ (density-tight since Q_d is edge-transitive
+    and vertex-maximal density is attained by the whole graph). *)
+val hypercube : int -> Multigraph.t
+
+(** [theta_graph paths len]: two hub vertices joined by [paths] internally
+    disjoint paths of [len] edges each. For [len >= 2] it is simple with
+    α = 2 when [paths >= 2]. *)
+val theta_graph : int -> int -> Multigraph.t
+
+(** {1 Random families} *)
+
+(** Uniformly random labelled tree on [n >= 1] vertices (Prüfer). α = 1. *)
+val random_tree : Random.State.t -> int -> Multigraph.t
+
+(** [forest_union rng n k]: union (as a multigraph) of [k] independent
+    uniformly random spanning trees of [K_n]. m = k(n-1), so α = k
+    {e exactly} (upper bound by construction, lower bound by density). *)
+val forest_union : Random.State.t -> int -> int -> Multigraph.t
+
+(** [forest_union_simple rng n k]: as {!forest_union} but the result is a
+    simple graph: trees are sampled sequentially and resampled edges are
+    locally re-drawn. Requires [k <= n/4]. α = k exactly. *)
+val forest_union_simple : Random.State.t -> int -> int -> Multigraph.t
+
+(** Erdős–Rényi G(n, p). *)
+val erdos_renyi : Random.State.t -> int -> float -> Multigraph.t
+
+(** [random_k_tree rng n k]: a random k-tree on [n >= k+1] vertices (start
+    from K_{k+1}, repeatedly attach a vertex to a random existing k-clique).
+    Degeneracy exactly [k]; arboricity [k] exactly for [n > k+1] (density:
+    m = k(k+1)/2 + k(n-k-1) > (k-...)). Simple. *)
+val random_k_tree : Random.State.t -> int -> int -> Multigraph.t
+
+(** [preferential_attachment rng n k]: Barabási–Albert-style graph: each new
+    vertex attaches [k] edges to existing vertices chosen proportionally to
+    degree (duplicates redrawn, so the result is simple). α <= k by the
+    attachment orientation; density makes it ≈ k. *)
+val preferential_attachment : Random.State.t -> int -> int -> Multigraph.t
+
+(** [random_regular rng n d]: configuration-model d-regular-ish simple graph
+    (self-loops and duplicate pairings dropped, so some degrees may fall
+    short). [n * d] should be even for best results. *)
+val random_regular : Random.State.t -> int -> int -> Multigraph.t
+
+(** [planted_alpha rng n alpha extra]: {!forest_union_simple} plus [extra]
+    random simple edges that keep overall density below [alpha], so α stays
+    exactly [alpha] on the whole graph but local structure is less tree-like. *)
+val planted_alpha : Random.State.t -> int -> int -> int -> Multigraph.t
+
+(** {1 Combinators} *)
+
+(** Disjoint union (vertices of the second graph are shifted). *)
+val disjoint_union : Multigraph.t -> Multigraph.t -> Multigraph.t
+
+(** [list_palettes rng g ~colors ~size] draws, for each edge, a uniformly
+    random palette of [size] distinct colors out of [0..colors-1];
+    the standard way tests build list-coloring instances. *)
+val list_palettes :
+  Random.State.t -> Multigraph.t -> colors:int -> size:int -> int list array

@@ -1,0 +1,62 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable data : 'a array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create dummy =
+  { keys = Array.make 16 0.0; data = Array.make 16 dummy; size = 0; dummy }
+
+let size h = h.size
+let is_empty h = h.size = 0
+
+let swap h i j =
+  let k = h.keys.(i) and d = h.data.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.data.(i) <- h.data.(j);
+  h.keys.(j) <- k;
+  h.data.(j) <- d
+
+let push h key datum =
+  if h.size = Array.length h.keys then begin
+    let keys = Array.make (2 * h.size) 0.0 in
+    let data = Array.make (2 * h.size) h.dummy in
+    Array.blit h.keys 0 keys 0 h.size;
+    Array.blit h.data 0 data 0 h.size;
+    h.keys <- keys;
+    h.data <- data
+  end;
+  h.keys.(h.size) <- key;
+  h.data.(h.size) <- datum;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+    swap h ((!i - 1) / 2) !i;
+    i := (!i - 1) / 2
+  done
+
+let peek h = if h.size = 0 then None else Some (h.keys.(0), h.data.(0))
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and datum = h.data.(0) in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest = !i then continue_ := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    Some (key, datum)
+  end

@@ -1,0 +1,20 @@
+(** Binary min-heap over float keys.
+
+    Used by the MPX clustering (fractional exponential shifts on top of
+    integer BFS distances) and available as a general substrate. *)
+
+type 'a t
+
+(** [create dummy] is an empty heap; [dummy] is a throwaway payload used to
+    initialize backing storage (never returned). *)
+val create : 'a -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+(** Smallest key with its payload, or [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Like {!pop} without removing. *)
+val peek : 'a t -> (float * 'a) option

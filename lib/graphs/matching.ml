@@ -1,0 +1,71 @@
+type t = {
+  left : int;
+  right : int;
+  mutable adj : int list array; (* left node -> right neighbors *)
+}
+
+let create ~left ~right =
+  if left < 0 || right < 0 then invalid_arg "Matching.create: negative side";
+  { left; right; adj = Array.make left [] }
+
+let add t l r =
+  if l < 0 || l >= t.left || r < 0 || r >= t.right then
+    invalid_arg "Matching.add: node out of range";
+  t.adj.(l) <- r :: t.adj.(l)
+
+let inf = max_int / 2
+
+let maximum_matching t =
+  let match_l = Array.make t.left (-1) in
+  let match_r = Array.make t.right (-1) in
+  let dist = Array.make t.left inf in
+  let q = Queue.create () in
+  (* BFS layers over free left nodes; true if an augmenting path exists. *)
+  let bfs () =
+    Queue.clear q;
+    for l = 0 to t.left - 1 do
+      if match_l.(l) < 0 then begin
+        dist.(l) <- 0;
+        Queue.add l q
+      end
+      else dist.(l) <- inf
+    done;
+    let found = ref false in
+    while not (Queue.is_empty q) do
+      let l = Queue.take q in
+      List.iter
+        (fun r ->
+          let l' = match_r.(r) in
+          if l' < 0 then found := true
+          else if dist.(l') = inf then begin
+            dist.(l') <- dist.(l) + 1;
+            Queue.add l' q
+          end)
+        t.adj.(l)
+    done;
+    !found
+  in
+  let rec dfs l =
+    let rec try_neighbors = function
+      | [] ->
+          dist.(l) <- inf;
+          false
+      | r :: rest ->
+          let l' = match_r.(r) in
+          let usable = l' < 0 || (dist.(l') = dist.(l) + 1 && dfs l') in
+          if usable then begin
+            match_l.(l) <- r;
+            match_r.(r) <- l;
+            true
+          end
+          else try_neighbors rest
+    in
+    try_neighbors t.adj.(l)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for l = 0 to t.left - 1 do
+      if match_l.(l) < 0 && dfs l then incr size
+    done
+  done;
+  (!size, match_l, match_r)

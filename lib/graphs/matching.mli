@@ -1,0 +1,19 @@
+(** Hopcroft–Karp maximum bipartite matching.
+
+    Used by the star-forest construction of Section 5: each vertex [v] owns a
+    bipartite graph [H_v] between colors and out-neighbors, and colors its
+    out-edges along a maximum matching of [H_v] (Proposition 5.1). *)
+
+type t
+
+(** [create ~left ~right] is an empty bipartite graph with left nodes
+    [0..left-1] and right nodes [0..right-1]. *)
+val create : left:int -> right:int -> t
+
+(** [add t l r] adds an edge between left node [l] and right node [r]. *)
+val add : t -> int -> int -> unit
+
+(** [maximum_matching t] computes a maximum matching; returns
+    [(size, match_of_left, match_of_right)] where unmatched nodes map
+    to [-1]. *)
+val maximum_matching : t -> int * int array * int array

@@ -1,0 +1,129 @@
+type arc = { dst : int; mutable cap : int; rev : int }
+
+type t = {
+  n : int;
+  mutable adj : arc array array; (* valid once frozen *)
+  grown : arc list array; (* reversed insertion order, pre-freeze *)
+  mutable frozen : bool;
+  mutable rev_handles : (int * int) list; (* (node, index) newest first *)
+  mutable handle_array : (int * int) array; (* built on demand *)
+  mutable handle_count : int;
+  level : int array;
+  iter : int array;
+}
+
+let infinite = max_int / 4
+
+let create n =
+  {
+    n;
+    adj = [||];
+    grown = Array.make n [];
+    frozen = false;
+    rev_handles = [];
+    handle_array = [||];
+    handle_count = 0;
+    level = Array.make n (-1);
+    iter = Array.make n 0;
+  }
+
+let add_edge t u v cap =
+  if t.frozen then invalid_arg "Maxflow.add_edge: network already frozen";
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n || u = v then
+    invalid_arg "Maxflow.add_edge: bad endpoints";
+  let iu = List.length t.grown.(u) in
+  let iv = List.length t.grown.(v) in
+  t.grown.(u) <- { dst = v; cap; rev = iv } :: t.grown.(u);
+  t.grown.(v) <- { dst = u; cap = 0; rev = iu } :: t.grown.(v);
+  let h = t.handle_count in
+  t.rev_handles <- (u, iu) :: t.rev_handles;
+  t.handle_count <- h + 1;
+  h
+
+let freeze t =
+  if not t.frozen then begin
+    t.adj <- Array.map (fun l -> Array.of_list (List.rev l)) t.grown;
+    t.frozen <- true
+  end
+
+let build_levels t source =
+  Array.fill t.level 0 t.n (-1);
+  let q = Queue.create () in
+  t.level.(source) <- 0;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    Array.iter
+      (fun a ->
+        if a.cap > 0 && t.level.(a.dst) < 0 then begin
+          t.level.(a.dst) <- t.level.(u) + 1;
+          Queue.add a.dst q
+        end)
+      t.adj.(u)
+  done
+
+let rec augment t u sink limit =
+  if u = sink then limit
+  else begin
+    let arcs = t.adj.(u) in
+    let result = ref 0 in
+    while !result = 0 && t.iter.(u) < Array.length arcs do
+      let a = arcs.(t.iter.(u)) in
+      if a.cap > 0 && t.level.(a.dst) = t.level.(u) + 1 then begin
+        let pushed = augment t a.dst sink (min limit a.cap) in
+        if pushed > 0 then begin
+          a.cap <- a.cap - pushed;
+          let back = t.adj.(a.dst).(a.rev) in
+          back.cap <- back.cap + pushed;
+          result := pushed
+        end
+        else t.iter.(u) <- t.iter.(u) + 1
+      end
+      else t.iter.(u) <- t.iter.(u) + 1
+    done;
+    !result
+  end
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  freeze t;
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    build_levels t source;
+    if t.level.(sink) < 0 then continue_ := false
+    else begin
+      Array.fill t.iter 0 t.n 0;
+      let pushed = ref (augment t source sink infinite) in
+      while !pushed > 0 do
+        total := !total + !pushed;
+        pushed := augment t source sink infinite
+      done
+    end
+  done;
+  !total
+
+let handle_position t h =
+  if h < 0 || h >= t.handle_count then
+    invalid_arg "Maxflow.flow_on: bad handle";
+  if Array.length t.handle_array <> t.handle_count then begin
+    let arr = Array.make t.handle_count (0, 0) in
+    List.iteri
+      (fun i p -> arr.(t.handle_count - 1 - i) <- p)
+      t.rev_handles;
+    t.handle_array <- arr
+  end;
+  t.handle_array.(h)
+
+let flow_on t h =
+  freeze t;
+  let u, i = handle_position t h in
+  let a = t.adj.(u).(i) in
+  (* flow = original capacity - residual = reverse arc's residual capacity *)
+  t.adj.(a.dst).(a.rev).cap
+
+let min_cut_side t ~source =
+  freeze t;
+  build_levels t source;
+  Array.map (fun l -> l >= 0) (Array.sub t.level 0 t.n)

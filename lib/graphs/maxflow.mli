@@ -1,0 +1,29 @@
+(** Dinic's maximum-flow algorithm on integer capacities.
+
+    Substrate for the exact density computations: pseudo-arboricity (minimum
+    maximum out-degree orientation) and the Nash-Williams maximum-density
+    subgraph both reduce to max-flow / min-cut. *)
+
+type t
+
+(** Capacity value treated as unbounded. *)
+val infinite : int
+
+(** [create n] is an empty flow network on nodes [0 .. n-1]. *)
+val create : int -> t
+
+(** [add_edge t u v cap] adds a directed arc of capacity [cap >= 0] and
+    returns a handle usable with {!flow_on}. A reverse arc of capacity 0 is
+    added internally. *)
+val add_edge : t -> int -> int -> int -> int
+
+(** [max_flow t ~source ~sink] computes the maximum flow value. May be called
+    once per network. *)
+val max_flow : t -> source:int -> sink:int -> int
+
+(** Flow routed on the arc returned by {!add_edge}, after {!max_flow}. *)
+val flow_on : t -> int -> int
+
+(** [min_cut_side t ~source] is the membership array of nodes reachable from
+    [source] in the residual network, after {!max_flow}. *)
+val min_cut_side : t -> source:int -> bool array

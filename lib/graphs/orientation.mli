@@ -1,0 +1,35 @@
+(** Edge orientations of a multigraph.
+
+    A [k]-orientation (every out-degree at most [k]) is exactly a
+    decomposition into [k] pseudo-forests; acyclic [k]-orientations witness
+    degeneracy at most [k]. *)
+
+type t
+
+(** [make g head] orients each edge [e] toward [head.(e)], which must be one
+    of its endpoints. The array is copied. *)
+val make : Multigraph.t -> int array -> t
+
+val graph : t -> Multigraph.t
+
+(** The vertex edge [e] points to. *)
+val head : t -> int -> int
+
+(** The vertex edge [e] points from. *)
+val tail : t -> int -> int
+
+val out_degree : t -> int -> int
+val max_out_degree : t -> int
+
+(** [out_edges t v] is the list of edge ids oriented out of [v]. *)
+val out_edges : t -> int -> int list
+
+(** [is_acyclic t] holds when the oriented graph has no directed cycle. *)
+val is_acyclic : t -> bool
+
+(** [of_total_order g rank] orients every edge from lower [rank] to higher
+    [rank] (ties broken by vertex id); always acyclic. *)
+val of_total_order : Multigraph.t -> int array -> t
+
+(** [reorient t e v] is a copy of [t] with edge [e] pointed toward [v]. *)
+val reorient : t -> int -> int -> t

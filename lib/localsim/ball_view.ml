@@ -1,0 +1,83 @@
+module G = Nw_graphs.Multigraph
+
+type ball = {
+  center : int;
+  vertices : int list;
+  edges : (int * int * int) list;
+}
+
+(* a record is one vertex's identity plus its incident edge list; records
+   spread one hop per round *)
+type record = { owner : int; incident : (int * int * int) list }
+
+type state = (int, record) Hashtbl.t
+
+let collect g ~radius ~rounds =
+  let n = G.n g in
+  let init v : state =
+    let tbl = Hashtbl.create 16 in
+    let incident =
+      Array.to_list
+        (Array.map
+           (fun (w, e) ->
+             let u', v' = G.endpoints g e in
+             ignore w;
+             (e, u', v'))
+           (G.incident g v))
+    in
+    Hashtbl.replace tbl v { owner = v; incident };
+    tbl
+  in
+  let net = Msg_net.create g ~rounds ~init in
+  let send v (st : state) =
+    ignore v;
+    let facts = Hashtbl.fold (fun _ r acc -> r :: acc) st [] in
+    Array.to_list (Array.map (fun (_, e) -> (e, facts)) (G.incident g v))
+  in
+  let recv v st msgs =
+    ignore v;
+    List.iter
+      (fun (_, facts) ->
+        List.iter
+          (fun r ->
+            if not (Hashtbl.mem st r.owner) then Hashtbl.replace st r.owner r)
+          facts)
+      msgs;
+    st
+  in
+  for _ = 1 to radius do
+    Msg_net.round net ~label:"ball-view/collect" ~send ~recv
+  done;
+  Array.init n (fun v ->
+      let st = Msg_net.state net v in
+      let vertices =
+        Hashtbl.fold (fun owner _ acc -> owner :: acc) st []
+        |> List.sort compare
+      in
+      let known u = Hashtbl.mem st u in
+      let edges = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun _ r ->
+          List.iter
+            (fun (e, a, b) ->
+              if known a && known b then Hashtbl.replace edges e (a, b))
+            r.incident)
+        st;
+      let edges =
+        Hashtbl.fold (fun e (a, b) acc -> (e, a, b) :: acc) edges []
+        |> List.sort compare
+      in
+      { center = v; vertices; edges })
+
+let reference g ~radius v =
+  let vertices = List.sort compare (G.ball g v radius) in
+  let members = Array.make (G.n g) false in
+  List.iter (fun u -> members.(u) <- true) vertices;
+  let edges =
+    G.fold_edges
+      (fun e a b acc ->
+        if members.(a) && members.(b) then (e, a, b) :: acc else acc)
+      g []
+    |> List.sort compare
+  in
+  { center = v; vertices; edges }

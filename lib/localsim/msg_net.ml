@@ -1,0 +1,52 @@
+module G = Nw_graphs.Multigraph
+
+type ('state, 'msg) t = {
+  g : G.t;
+  rounds : Rounds.t;
+  states : 'state array;
+  mutable delivered : int;
+}
+
+let create g ~rounds ~init =
+  { g; rounds; states = Array.init (G.n g) init; delivered = 0 }
+
+let graph t = t.g
+let state t v = t.states.(v)
+let set_state t v s = t.states.(v) <- s
+let states t = Array.copy t.states
+
+let round t ~label ~send ~recv =
+  let n = G.n t.g in
+  let inbox : (int * 'msg) list array = Array.make n [] in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun (e, msg) ->
+        let w = G.other_endpoint t.g e v in
+        (* other_endpoint raises if e is not incident to v *)
+        inbox.(w) <- (e, msg) :: inbox.(w);
+        t.delivered <- t.delivered + 1)
+      (send v t.states.(v))
+  done;
+  for v = 0 to n - 1 do
+    t.states.(v) <- recv v t.states.(v) inbox.(v)
+  done;
+  Rounds.charge t.rounds ~label 1
+
+let messages_delivered t = t.delivered
+
+let run_until t ~label ~send ~recv ~halted ~max_rounds =
+  let n = G.n t.g in
+  let all_halted () =
+    let rec check v = v >= n || (halted v t.states.(v) && check (v + 1)) in
+    check 0
+  in
+  let rec loop executed =
+    if all_halted () then executed
+    else if executed >= max_rounds then
+      failwith "Msg_net.run_until: max_rounds exceeded"
+    else begin
+      round t ~label ~send ~recv;
+      loop (executed + 1)
+    end
+  in
+  loop 0

@@ -1,0 +1,54 @@
+(** Synchronous message-passing kernel for the LOCAL model.
+
+    A genuine round-by-round simulation: in each round every vertex, looking
+    only at its own state, emits one message per incident edge (or none);
+    messages cross their edge; every vertex then updates its state from the
+    received messages. Message sizes are unbounded, as in LOCAL.
+
+    The simpler algorithms (H-partition peeling, Cole–Vishkin coloring) are
+    implemented directly on this kernel, demonstrating that they are honest
+    distributed algorithms; the round counts it reports are exact. *)
+
+type ('state, 'msg) t
+
+(** [create g ~rounds ~init] builds a network over [g]; vertex [v] starts in
+    state [init v]. Rounds executed here are charged to [rounds]. *)
+val create :
+  Nw_graphs.Multigraph.t ->
+  rounds:Rounds.t ->
+  init:(int -> 'state) ->
+  ('state, 'msg) t
+
+val graph : ('state, 'msg) t -> Nw_graphs.Multigraph.t
+
+val state : ('state, 'msg) t -> int -> 'state
+val set_state : ('state, 'msg) t -> int -> 'state -> unit
+val states : ('state, 'msg) t -> 'state array
+
+(** [round t ~label ~send ~recv] executes one synchronous round.
+    [send v st] returns messages as [(edge_id, msg)] pairs; each is delivered
+    to the opposite endpoint of [edge_id], which must be incident to [v].
+    [recv v st msgs] sees [(edge_id, msg)] pairs and returns the new state.
+    Charges one round to the ledger under [label]. *)
+val round :
+  ('state, 'msg) t ->
+  label:string ->
+  send:(int -> 'state -> (int * 'msg) list) ->
+  recv:(int -> 'state -> (int * 'msg) list -> 'state) ->
+  unit
+
+(** Total messages delivered since creation. *)
+val messages_delivered : ('state, 'msg) t -> int
+
+(** [run_until t ~label ~send ~recv ~halted ~max_rounds] repeats {!round}
+    until every vertex satisfies [halted] or [max_rounds] elapse; returns the
+    number of rounds executed.
+    @raise Failure if [max_rounds] is exceeded. *)
+val run_until :
+  ('state, 'msg) t ->
+  label:string ->
+  send:(int -> 'state -> (int * 'msg) list) ->
+  recv:(int -> 'state -> (int * 'msg) list -> 'state) ->
+  halted:(int -> 'state -> bool) ->
+  max_rounds:int ->
+  int

@@ -1,0 +1,229 @@
+(* Tests for the centralized baselines: Gabow-Westermann exact decomposition
+   (with density-witness certificates), the AMR 2-alpha star split, greedy
+   forest coloring, and the Barenboim-Elkin (2+eps)-alpha baseline. *)
+
+module G = Nw_graphs.Multigraph
+module Gen = Nw_graphs.Generators
+module Arb = Nw_graphs.Arboricity
+module Rounds = Nw_localsim.Rounds
+module Coloring = Nw_decomp.Coloring
+module Palette = Nw_decomp.Palette
+module Verify = Nw_decomp.Verify
+module GW = Nw_baseline.Gabow_westermann
+module Amr = Nw_baseline.Amr_star
+module Greedy = Nw_baseline.Greedy_forest
+module BE = Nw_baseline.Barenboim_elkin
+
+let rng seed = Random.State.make [| seed; 31337 |]
+
+(* ------------------------------------------------------------------ *)
+(* Gabow-Westermann                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_gw_known_arboricities () =
+  let cases =
+    [
+      ("K4", Gen.complete 4, 2);
+      ("K5", Gen.complete 5, 3);
+      ("K6", Gen.complete 6, 3);
+      ("K7", Gen.complete 7, 4);
+      ("K33", Gen.complete_bipartite 3 3, 2);
+      ("cycle", Gen.cycle 9, 2);
+      ("path", Gen.path 9, 1);
+      ("grid", Gen.grid 5 5, 2);
+      ("line multigraph", Gen.line_multigraph 7 4, 4);
+      ("petersen-ish 3-regular", Gen.random_regular (rng 1) 10 3, 2);
+    ]
+  in
+  List.iter
+    (fun (name, g, expected) ->
+      let k, coloring = GW.arboricity g in
+      Alcotest.(check int) name expected k;
+      Verify.exn (Verify.forest_decomposition coloring);
+      Alcotest.(check bool) (name ^ " uses k") true
+        (Verify.colors_used coloring <= k))
+    cases
+
+let prop_gw_matches_brute_force =
+  QCheck.Test.make ~name:"gw arboricity = brute force" ~count:60
+    (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 4 + Random.State.int st 8 in
+      let g = Gen.erdos_renyi st n 0.5 in
+      G.m g = 0 || fst (GW.arboricity g) = Arb.brute_force g)
+
+let test_gw_witness () =
+  (* K5 cannot be covered by 2 forests; the witness must certify it *)
+  let g = Gen.complete 5 in
+  match GW.forest_partition g 2 with
+  | Ok _ -> Alcotest.fail "K5 into 2 forests is impossible"
+  | Error witness ->
+      Alcotest.(check bool) "witness certifies density > 2" true
+        (GW.check_witness g 2 witness)
+
+let prop_gw_witness_on_stall =
+  QCheck.Test.make ~name:"every stall yields a valid density witness"
+    ~count:60 (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 4 + Random.State.int st 7 in
+      let g = Gen.erdos_renyi st n 0.6 in
+      if G.m g = 0 then true
+      else begin
+        let alpha = Arb.brute_force g in
+        if alpha < 2 then true
+        else
+          match GW.forest_partition g (alpha - 1) with
+          | Ok _ -> false (* below arboricity must fail *)
+          | Error witness -> GW.check_witness g (alpha - 1) witness
+      end)
+
+let test_gw_list_seymour () =
+  (* Seymour: alpha-sized palettes always admit a list decomposition *)
+  let st = rng 2 in
+  for seed = 0 to 14 do
+    let g = Gen.erdos_renyi (rng (10 + seed)) 10 0.55 in
+    if G.m g > 0 then begin
+      let alpha = Arb.brute_force g in
+      let colors = (2 * alpha) + 3 in
+      let lists = Gen.list_palettes st g ~colors ~size:alpha in
+      let palette = Palette.of_lists ~colors lists in
+      match GW.list_forest_partition g palette with
+      | Ok coloring ->
+          Verify.exn (Verify.forest_decomposition coloring);
+          Verify.exn (Verify.respects_palette coloring palette)
+      | Error _ -> Alcotest.fail "Seymour-sized palettes must succeed"
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* AMR star split                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_amr_star () =
+  let cases =
+    [ Gen.complete 7; Gen.grid 6 6; Gen.forest_union (rng 3) 40 3 ]
+  in
+  List.iter
+    (fun g ->
+      let sfd, alpha = Amr.decompose g in
+      Verify.exn (Verify.star_forest_decomposition sfd);
+      Alcotest.(check bool) "2 alpha colors" true
+        (Verify.colors_used sfd <= 2 * alpha))
+    cases
+
+
+let test_star_arboricity_brute () =
+  let module A = Nw_baseline.Amr_star in
+  (* stars need 1 class; any path of >= 3 edges needs 2; a triangle splits
+     as {ab, ac} + {bc} so 2; parallel edges must separate *)
+  Alcotest.(check int) "star" 1 (A.star_arboricity_brute (Gen.star 4));
+  Alcotest.(check int) "P5" 2 (A.star_arboricity_brute (Gen.path 5));
+  Alcotest.(check int) "triangle" 2 (A.star_arboricity_brute (Gen.cycle 3));
+  Alcotest.(check int) "C6" 2 (A.star_arboricity_brute (Gen.cycle 6));
+  Alcotest.(check int) "parallel pair" 2
+    (A.star_arboricity_brute (G.of_edges 2 [ (0, 1); (0, 1) ]))
+
+let prop_star_arboricity_bounds =
+  QCheck.Test.make ~name:"alpha <= alpha_star <= 2 alpha (Cor 1.2), exactly"
+    ~count:40 (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 4 + Random.State.int st 4 in
+      let g = Gen.erdos_renyi st n 0.4 in
+      if G.m g = 0 || G.m g > 14 then true
+      else begin
+        let alpha = Arb.brute_force g in
+        let astar = Nw_baseline.Amr_star.star_arboricity_brute g in
+        alpha <= astar && astar <= 2 * alpha
+      end)
+
+let prop_amr_upper_bounds_brute =
+  QCheck.Test.make ~name:"parity split never beats the exact star arboricity"
+    ~count:30 (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 4 + Random.State.int st 4 in
+      let g = Gen.erdos_renyi st n 0.35 in
+      if G.m g = 0 || G.m g > 14 then true
+      else begin
+        let sfd, _ = Nw_baseline.Amr_star.decompose g in
+        let used = Verify.colors_used sfd in
+        used >= Nw_baseline.Amr_star.star_arboricity_brute g
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_greedy_valid () =
+  let g = Gen.complete 8 in
+  let coloring = Greedy.greedy g in
+  Verify.exn (Verify.forest_decomposition coloring)
+
+let test_greedy_eager_budget () =
+  let g = Gen.complete 6 in
+  (* alpha = 3; with only 2 colors some edges stay uncolored *)
+  let coloring, uncolored = Greedy.eager g 2 in
+  Alcotest.(check bool) "some uncolored" true (uncolored > 0);
+  Verify.exn (Verify.partial_forest_decomposition coloring);
+  Verify.exn (Verify.uses_at_most coloring 2)
+
+let prop_greedy_never_beats_exact =
+  QCheck.Test.make ~name:"greedy uses at least alpha colors" ~count:60
+    (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let g = Gen.erdos_renyi st 10 0.5 in
+      if G.m g = 0 then true
+      else begin
+        let alpha = Arb.brute_force g in
+        Verify.colors_used (Greedy.greedy g) >= alpha
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Barenboim-Elkin                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_be_bound () =
+  let st = rng 4 in
+  let g = Gen.forest_union st 80 4 in
+  let alpha_star, _ = Arb.pseudo_arboricity g in
+  let rounds = Rounds.create () in
+  let coloring = BE.decompose g ~epsilon:0.5 ~alpha_star ~rng:st ~rounds in
+  Verify.exn (Verify.forest_decomposition coloring);
+  let bound = int_of_float (floor (2.5 *. float_of_int alpha_star)) in
+  Alcotest.(check bool) "within (2+eps) alpha*" true
+    (Verify.colors_used coloring <= bound);
+  Alcotest.(check bool) "rounds logarithmic" true (Rounds.total rounds <= 60)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "nw_baseline"
+    [
+      ( "gabow_westermann",
+        [
+          Alcotest.test_case "known" `Quick test_gw_known_arboricities;
+          Alcotest.test_case "witness" `Quick test_gw_witness;
+          Alcotest.test_case "seymour lists" `Quick test_gw_list_seymour;
+        ] );
+      qsuite "gw_props" [ prop_gw_matches_brute_force; prop_gw_witness_on_stall ];
+      ( "amr_star",
+        [
+          Alcotest.test_case "2 alpha stars" `Quick test_amr_star;
+          Alcotest.test_case "brute star arboricity" `Quick
+            test_star_arboricity_brute;
+        ] );
+      qsuite "star_arboricity_props"
+        [ prop_star_arboricity_bounds; prop_amr_upper_bounds_brute ];
+      ( "greedy",
+        [
+          Alcotest.test_case "valid" `Quick test_greedy_valid;
+          Alcotest.test_case "eager budget" `Quick test_greedy_eager_budget;
+        ] );
+      qsuite "greedy_props" [ prop_greedy_never_beats_exact ];
+      ( "barenboim_elkin",
+        [ Alcotest.test_case "bound" `Quick test_be_bound ] );
+    ]

@@ -1,0 +1,592 @@
+(* Unit and property tests for the nw_graphs substrate. *)
+
+module G = Nw_graphs.Multigraph
+module UF = Nw_graphs.Union_find
+module T = Nw_graphs.Traversal
+module Gen = Nw_graphs.Generators
+module Arb = Nw_graphs.Arboricity
+module Deg = Nw_graphs.Degeneracy
+module O = Nw_graphs.Orientation
+
+let rng seed = Random.State.make [| seed; 0x5eed |]
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_uf_basic () =
+  let uf = UF.create 5 in
+  Alcotest.(check int) "initial classes" 5 (UF.count uf);
+  Alcotest.(check bool) "union 0 1" true (UF.union uf 0 1);
+  Alcotest.(check bool) "union 0 1 again" false (UF.union uf 0 1);
+  Alcotest.(check bool) "same 0 1" true (UF.same uf 0 1);
+  Alcotest.(check bool) "not same 0 2" false (UF.same uf 0 2);
+  Alcotest.(check int) "classes after one union" 4 (UF.count uf);
+  UF.reset uf;
+  Alcotest.(check int) "classes after reset" 5 (UF.count uf)
+
+let test_uf_copy_independent () =
+  let uf = UF.create 4 in
+  ignore (UF.union uf 0 1);
+  let uf2 = UF.copy uf in
+  ignore (UF.union uf2 2 3);
+  Alcotest.(check bool) "copy has merge" true (UF.same uf2 2 3);
+  Alcotest.(check bool) "original unaffected" false (UF.same uf 2 3)
+
+(* Naive reference implementation: label propagation over pairs. *)
+let uf_matches_naive pairs n =
+  let uf = UF.create n in
+  let label = Array.init n (fun i -> i) in
+  List.iter
+    (fun (x, y) ->
+      ignore (UF.union uf x y);
+      let lx = label.(x) and ly = label.(y) in
+      if lx <> ly then
+        Array.iteri (fun i l -> if l = ly then label.(i) <- lx) label)
+    pairs;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if UF.same uf i j <> (label.(i) = label.(j)) then ok := false
+    done
+  done;
+  !ok
+
+let prop_uf_vs_naive =
+  QCheck.Test.make ~name:"union-find agrees with naive labels" ~count:200
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun pairs -> uf_matches_naive pairs 10)
+
+(* ------------------------------------------------------------------ *)
+(* Multigraph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basic () =
+  let g = G.of_edges 4 [ (0, 1); (1, 2); (1, 2); (2, 3) ] in
+  Alcotest.(check int) "n" 4 (G.n g);
+  Alcotest.(check int) "m" 4 (G.m g);
+  Alcotest.(check int) "deg 1" 3 (G.degree g 1);
+  Alcotest.(check int) "max degree" 3 (G.max_degree g);
+  Alcotest.(check bool) "not simple" false (G.is_simple g);
+  Alcotest.(check (pair int int)) "endpoints" (1, 2) (G.endpoints g 1);
+  Alcotest.(check int) "other endpoint" 2 (G.other_endpoint g 1 1)
+
+let test_graph_rejects_self_loop () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Multigraph.add_edge: self-loop") (fun () ->
+      ignore (G.of_edges 3 [ (1, 1) ]))
+
+let test_graph_power () =
+  let g = Gen.path 5 in
+  let g2 = G.power g 2 in
+  (* path 0-1-2-3-4; distance <= 2 pairs: 01 02 12 13 23 24 34 *)
+  Alcotest.(check int) "power edges" 7 (G.m g2);
+  Alcotest.(check bool) "power simple" true (G.is_simple g2)
+
+let test_graph_ball () =
+  let g = Gen.path 7 in
+  let b = List.sort compare (G.ball g 3 2) in
+  Alcotest.(check (list int)) "ball of middle" [ 1; 2; 3; 4; 5 ] b;
+  let members = G.ball_of_set g [ 0; 6 ] 1 in
+  Alcotest.(check bool) "0-ball member" true members.(0);
+  Alcotest.(check bool) "distance 1" true members.(1);
+  Alcotest.(check bool) "distance 2 excluded" false members.(2)
+
+let test_graph_induced () =
+  let g = G.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  let members = [| true; true; true; false; false |] in
+  let sub, vmap, emap = G.induced g members in
+  Alcotest.(check int) "induced n" 3 (G.n sub);
+  Alcotest.(check int) "induced m" 2 (G.m sub);
+  Alcotest.(check (array int)) "vmap" [| 0; 1; 2 |] vmap;
+  Alcotest.(check (array int)) "emap" [| 0; 1 |] emap
+
+let test_subgraph_of_edges () =
+  let g = G.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let sub, emap = G.subgraph_of_edges g [| true; false; true |] in
+  Alcotest.(check int) "kept edges" 2 (G.m sub);
+  Alcotest.(check (array int)) "emap" [| 0; 2 |] emap;
+  Alcotest.(check int) "n preserved" 4 (G.n sub)
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_components () =
+  let g = Gen.disjoint_union (Gen.path 3) (Gen.cycle 4) in
+  let _, c = T.components g in
+  Alcotest.(check int) "two components" 2 c
+
+let test_is_forest () =
+  Alcotest.(check bool) "path is forest" true (T.is_forest (Gen.path 6));
+  Alcotest.(check bool) "cycle not" false (T.is_forest (Gen.cycle 5));
+  Alcotest.(check bool) "parallel pair not" false
+    (T.is_forest (G.of_edges 2 [ (0, 1); (0, 1) ]))
+
+let test_diameter () =
+  Alcotest.(check int) "path diameter" 5 (T.diameter (Gen.path 6));
+  Alcotest.(check int) "cycle diameter" 3 (T.diameter (Gen.cycle 6));
+  Alcotest.(check int) "tree diameter" 5 (T.tree_diameter (Gen.path 6));
+  Alcotest.(check int) "star diameter" 2 (T.tree_diameter (Gen.star 5))
+
+let test_bfs_tree () =
+  let g = Gen.path 4 in
+  let parent, parent_edge, depth = T.bfs_tree g 0 in
+  Alcotest.(check (array int)) "parents" [| -1; 0; 1; 2 |] parent;
+  Alcotest.(check (array int)) "parent edges" [| -1; 0; 1; 2 |] parent_edge;
+  Alcotest.(check (array int)) "depth" [| 0; 1; 2; 3 |] depth
+
+let prop_spanning_forest =
+  QCheck.Test.make ~name:"spanning forest spans and is acyclic" ~count:100
+    QCheck.(pair small_nat (int_bound 1000))
+    (fun (size, seed) ->
+      let n = 2 + (size mod 30) in
+      let g = Gen.erdos_renyi (rng seed) n 0.3 in
+      let keep = T.spanning_forest g in
+      let sub, _ = G.subgraph_of_edges g keep in
+      let _, c_sub = T.components sub in
+      let _, c_full = T.components g in
+      T.is_forest sub && c_sub = c_full)
+
+(* ------------------------------------------------------------------ *)
+(* Max-flow                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_maxflow_simple () =
+  let module F = Nw_graphs.Maxflow in
+  let net = F.create 4 in
+  let a = F.add_edge net 0 1 3 in
+  let _ = F.add_edge net 0 2 2 in
+  let _ = F.add_edge net 1 2 5 in
+  let b = F.add_edge net 1 3 2 in
+  let _ = F.add_edge net 2 3 3 in
+  Alcotest.(check int) "flow value" 5 (F.max_flow net ~source:0 ~sink:3);
+  Alcotest.(check int) "edge 0->1 saturated" 3 (F.flow_on net a);
+  Alcotest.(check int) "edge 1->3 saturated" 2 (F.flow_on net b);
+  let side = F.min_cut_side net ~source:0 in
+  Alcotest.(check bool) "source side" true side.(0);
+  Alcotest.(check bool) "sink side" false side.(3)
+
+let test_maxflow_disconnected () =
+  let module F = Nw_graphs.Maxflow in
+  let net = F.create 3 in
+  let _ = F.add_edge net 0 1 7 in
+  Alcotest.(check int) "no path" 0 (F.max_flow net ~source:0 ~sink:2)
+
+(* brute force max-flow on tiny graphs via repeated DFS augmentation over
+   an explicit capacity matrix *)
+let brute_maxflow n edges s t =
+  let cap = Array.make_matrix n n 0 in
+  List.iter (fun (u, v, c) -> cap.(u).(v) <- cap.(u).(v) + c) edges;
+  let find_path () =
+    let visited = Array.make n false in
+    let rec dfs u path =
+      if u = t then Some (List.rev path)
+      else begin
+        visited.(u) <- true;
+        let rec try_next v =
+          if v >= n then None
+          else if (not visited.(v)) && cap.(u).(v) > 0 then
+            match dfs v ((u, v) :: path) with
+            | Some p -> Some p
+            | None -> try_next (v + 1)
+          else try_next (v + 1)
+        in
+        try_next 0
+      end
+    in
+    dfs s []
+  in
+  let total = ref 0 in
+  let rec loop () =
+    match find_path () with
+    | None -> ()
+    | Some path ->
+        let bottleneck =
+          List.fold_left (fun acc (u, v) -> min acc cap.(u).(v)) max_int path
+        in
+        List.iter
+          (fun (u, v) ->
+            cap.(u).(v) <- cap.(u).(v) - bottleneck;
+            cap.(v).(u) <- cap.(v).(u) + bottleneck)
+          path;
+        total := !total + bottleneck;
+        loop ()
+  in
+  loop ();
+  !total
+
+let prop_maxflow_vs_brute =
+  QCheck.Test.make ~name:"dinic agrees with brute-force flow" ~count:200
+    QCheck.(pair (int_bound 10000) (int_bound 5))
+    (fun (seed, extra) ->
+      let st = rng seed in
+      let n = 4 + extra in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v && Random.State.float st 1.0 < 0.4 then
+            edges := (u, v, 1 + Random.State.int st 5) :: !edges
+        done
+      done;
+      let module F = Nw_graphs.Maxflow in
+      let net = F.create n in
+      List.iter (fun (u, v, c) -> ignore (F.add_edge net u v c)) !edges;
+      F.max_flow net ~source:0 ~sink:(n - 1)
+      = brute_maxflow n !edges 0 (n - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Matching                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_matching_perfect () =
+  let module M = Nw_graphs.Matching in
+  let m = M.create ~left:3 ~right:3 in
+  M.add m 0 0;
+  M.add m 0 1;
+  M.add m 1 1;
+  M.add m 1 2;
+  M.add m 2 2;
+  let size, ml, mr = M.maximum_matching m in
+  Alcotest.(check int) "perfect" 3 size;
+  Array.iteri (fun l r -> Alcotest.(check int) "consistent" l mr.(r)) ml
+
+(* brute force maximum matching size by trying all subsets of edges *)
+let brute_matching_size left right edges =
+  let best = ref 0 in
+  let k = List.length edges in
+  let arr = Array.of_list edges in
+  for mask = 0 to (1 lsl k) - 1 do
+    let used_l = Array.make left false and used_r = Array.make right false in
+    let ok = ref true and size = ref 0 in
+    for i = 0 to k - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        let l, r = arr.(i) in
+        if used_l.(l) || used_r.(r) then ok := false
+        else begin
+          used_l.(l) <- true;
+          used_r.(r) <- true;
+          incr size
+        end
+      end
+    done;
+    if !ok && !size > !best then best := !size
+  done;
+  !best
+
+let prop_matching_vs_brute =
+  QCheck.Test.make ~name:"hopcroft-karp agrees with brute force" ~count:200
+    (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let left = 1 + Random.State.int st 4 in
+      let right = 1 + Random.State.int st 4 in
+      let edges = ref [] in
+      for l = 0 to left - 1 do
+        for r = 0 to right - 1 do
+          if Random.State.float st 1.0 < 0.5 then edges := (l, r) :: !edges
+        done
+      done;
+      (* cap edge count to keep the brute force fast *)
+      let edges = List.filteri (fun i _ -> i < 12) !edges in
+      let module M = Nw_graphs.Matching in
+      let m = M.create ~left ~right in
+      List.iter (fun (l, r) -> M.add m l r) edges;
+      let size, ml, mr = M.maximum_matching m in
+      let consistent = ref true in
+      Array.iteri
+        (fun l r -> if r >= 0 && mr.(r) <> l then consistent := false)
+        ml;
+      !consistent && size = brute_matching_size left right edges)
+
+(* ------------------------------------------------------------------ *)
+(* Degeneracy                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_degeneracy_known () =
+  Alcotest.(check int) "path" 1 (Deg.degeneracy (Gen.path 6));
+  Alcotest.(check int) "cycle" 2 (Deg.degeneracy (Gen.cycle 6));
+  Alcotest.(check int) "K5" 4 (Deg.degeneracy (Gen.complete 5));
+  Alcotest.(check int) "parallel pair" 2
+    (Deg.degeneracy (G.of_edges 2 [ (0, 1); (0, 1) ]))
+
+let prop_degeneracy_orientation =
+  QCheck.Test.make
+    ~name:"degeneracy orientation is acyclic with bounded out-degree"
+    ~count:100 (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 3 + Random.State.int st 25 in
+      let g = Gen.erdos_renyi st n 0.3 in
+      let d = Deg.degeneracy g in
+      let o = Deg.orientation g in
+      O.is_acyclic o && O.max_out_degree o <= d)
+
+(* ------------------------------------------------------------------ *)
+(* Arboricity / orientations                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_pseudo_arboricity_known () =
+  let check name g expected =
+    let k, o = Arb.pseudo_arboricity g in
+    Alcotest.(check int) name expected k;
+    Alcotest.(check bool) (name ^ " witness outdeg") true
+      (O.max_out_degree o <= k)
+  in
+  check "tree" (Gen.path 8) 1;
+  check "cycle" (Gen.cycle 7) 1;
+  check "K4" (Gen.complete 4) 2;
+  check "K5" (Gen.complete 5) 2;
+  check "double edge" (G.of_edges 2 [ (0, 1); (0, 1) ]) 1;
+  check "triple edge" (G.of_edges 2 [ (0, 1); (0, 1); (0, 1) ]) 2
+
+let test_density_lower_bound () =
+  Alcotest.(check int) "K5 density" 3 (Arb.density_lower_bound (Gen.complete 5));
+  Alcotest.(check int) "path" 1 (Arb.density_lower_bound (Gen.path 5));
+  Alcotest.(check int) "line multigraph" 4
+    (Arb.density_lower_bound (Gen.line_multigraph 10 4))
+
+let test_brute_force_arboricity () =
+  Alcotest.(check int) "K4" 2 (Arb.brute_force (Gen.complete 4));
+  Alcotest.(check int) "K5" 3 (Arb.brute_force (Gen.complete 5));
+  Alcotest.(check int) "cycle" 2 (Arb.brute_force (Gen.cycle 8));
+  Alcotest.(check int) "path" 1 (Arb.brute_force (Gen.path 8))
+
+let prop_pseudo_vs_brute_bounds =
+  QCheck.Test.make ~name:"alpha* <= alpha <= 2 alpha* on random graphs"
+    ~count:60 (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 3 + Random.State.int st 9 in
+      let g = Gen.erdos_renyi st n 0.5 in
+      if G.m g = 0 then true
+      else begin
+        let alpha = Arb.brute_force g in
+        let alpha_star, _ = Arb.pseudo_arboricity g in
+        alpha_star <= alpha && alpha <= 2 * alpha_star
+      end)
+
+
+let test_densest_known () =
+  let d, w = Arb.densest_subgraph (Gen.complete 5) in
+  Alcotest.(check (float 1e-9)) "K5 density" 2.0 d;
+  Alcotest.(check int) "K5 witness is everything" 5 (List.length w);
+  let d2, _ = Arb.densest_subgraph (Gen.path 6) in
+  Alcotest.(check (float 1e-9)) "path density" (5. /. 6.) d2;
+  let d3, _ = Arb.densest_subgraph (G.of_edges 2 [ (0, 1); (0, 1); (0, 1) ]) in
+  Alcotest.(check (float 1e-9)) "triple edge" 1.5 d3
+
+let prop_densest_vs_brute =
+  QCheck.Test.make ~name:"goldberg densest = brute force" ~count:40
+    (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 3 + Random.State.int st 8 in
+      let g = Gen.erdos_renyi st n 0.5 in
+      let d, _ = Arb.densest_subgraph g in
+      Float.abs (d -. Arb.densest_brute_force g) < 1e-9)
+
+let prop_densest_certifies_pseudo =
+  QCheck.Test.make ~name:"ceil(max density) = pseudo-arboricity" ~count:40
+    (QCheck.int_bound 100000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 3 + Random.State.int st 10 in
+      let g = Gen.erdos_renyi st n 0.5 in
+      if G.m g = 0 then true
+      else begin
+        let d, _ = Arb.densest_subgraph g in
+        let alpha_star, _ = Arb.pseudo_arboricity g in
+        int_of_float (ceil (d -. 1e-12)) = alpha_star
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_generators_shapes () =
+  Alcotest.(check int) "complete edges" 10 (G.m (Gen.complete 5));
+  Alcotest.(check int) "bipartite edges" 6 (G.m (Gen.complete_bipartite 2 3));
+  Alcotest.(check int) "grid edges" 12 (G.m (Gen.grid 3 3));
+  Alcotest.(check int) "binary tree n" 7 (G.n (Gen.binary_tree 2));
+  Alcotest.(check bool) "binary tree is tree" true
+    (T.is_forest (Gen.binary_tree 3))
+
+let test_random_tree_is_tree () =
+  for seed = 0 to 20 do
+    let g = Gen.random_tree (rng seed) (5 + seed) in
+    Alcotest.(check bool) "is forest" true (T.is_forest g);
+    let _, c = T.components g in
+    Alcotest.(check int) "connected" 1 c
+  done
+
+let test_forest_union_arboricity () =
+  let g = Gen.forest_union (rng 7) 30 4 in
+  Alcotest.(check int) "m = k(n-1)" (4 * 29) (G.m g);
+  Alcotest.(check int) "density bound k" 4 (Arb.density_lower_bound g)
+
+let test_forest_union_simple () =
+  let g = Gen.forest_union_simple (rng 11) 40 5 in
+  Alcotest.(check bool) "simple" true (G.is_simple g);
+  Alcotest.(check int) "m = k(n-1)" (5 * 39) (G.m g);
+  Alcotest.(check int) "density bound" 5 (Arb.density_lower_bound g)
+
+let test_line_multigraph_bounds () =
+  let g = Gen.line_multigraph 6 3 in
+  Alcotest.(check int) "m" 15 (G.m g);
+  Alcotest.(check int) "brute arboricity" 3 (Arb.brute_force g)
+
+let test_list_palettes () =
+  let g = Gen.complete 5 in
+  let q = Gen.list_palettes (rng 3) g ~colors:10 ~size:4 in
+  Array.iter
+    (fun palette ->
+      Alcotest.(check int) "size" 4 (List.length palette);
+      Alcotest.(check bool) "sorted distinct" true
+        (let rec ok = function
+           | a :: (b :: _ as rest) -> a < b && ok rest
+           | _ -> true
+         in
+         ok palette);
+      List.iter
+        (fun c -> Alcotest.(check bool) "range" true (c >= 0 && c < 10))
+        palette)
+    q
+
+
+let test_new_families () =
+  (* caterpillar: a tree *)
+  let cat = Gen.caterpillar 5 3 in
+  Alcotest.(check int) "caterpillar n" 20 (G.n cat);
+  Alcotest.(check bool) "caterpillar tree" true (T.is_forest cat);
+  (* hypercube Q3: 8 vertices, 12 edges, alpha = ceil(12/7) = 2 *)
+  let q3 = Gen.hypercube 3 in
+  Alcotest.(check int) "Q3 n" 8 (G.n q3);
+  Alcotest.(check int) "Q3 m" 12 (G.m q3);
+  Alcotest.(check int) "Q3 arboricity" 2 (Arb.brute_force q3);
+  (* theta graph: 3 paths of length 3 between two hubs: alpha = 2 *)
+  let th = Gen.theta_graph 3 3 in
+  Alcotest.(check bool) "theta simple" true (G.is_simple th);
+  Alcotest.(check int) "theta arboricity" 2 (Arb.brute_force th)
+
+let test_k_tree () =
+  for k = 1 to 3 do
+    let g = Gen.random_k_tree (rng (40 + k)) 16 k in
+    Alcotest.(check bool) "simple" true (G.is_simple g);
+    Alcotest.(check int) "edges" ((k * (k + 1) / 2) + (k * (16 - k - 1))) (G.m g);
+    Alcotest.(check int) "degeneracy = k" k (Deg.degeneracy g);
+    Alcotest.(check int) "arboricity = k" k (Arb.brute_force g)
+  done
+
+let test_preferential_attachment () =
+  let g = Gen.preferential_attachment (rng 41) 80 3 in
+  Alcotest.(check bool) "simple" true (G.is_simple g);
+  Alcotest.(check bool) "connected-ish density" true (G.m g >= 70);
+  (* the attachment order is an acyclic k-orientation witness *)
+  Alcotest.(check bool) "degeneracy <= k" true (Deg.degeneracy g <= 3)
+
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let module H = Nw_graphs.Heap in
+  let h = H.create "" in
+  Alcotest.(check bool) "empty" true (H.is_empty h);
+  H.push h 3.0 "c";
+  H.push h 1.0 "a";
+  H.push h 2.0 "b";
+  Alcotest.(check int) "size" 3 (H.size h);
+  Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1.0, "a"))
+    (H.peek h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop a" (Some (1.0, "a"))
+    (H.pop h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop b" (Some (2.0, "b"))
+    (H.pop h);
+  Alcotest.(check (option (pair (float 0.) string))) "pop c" (Some (3.0, "c"))
+    (H.pop h);
+  Alcotest.(check bool) "drained" true (H.pop h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:100
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun keys ->
+      let module H = Nw_graphs.Heap in
+      let h = H.create 0 in
+      List.iteri (fun i k -> H.push h k i) keys;
+      let rec drain acc =
+        match H.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "nw_graphs"
+    [
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_uf_basic;
+          Alcotest.test_case "copy" `Quick test_uf_copy_independent;
+        ] );
+      qsuite "union_find_props" [ prop_uf_vs_naive ];
+      ( "multigraph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "self loop" `Quick test_graph_rejects_self_loop;
+          Alcotest.test_case "power" `Quick test_graph_power;
+          Alcotest.test_case "ball" `Quick test_graph_ball;
+          Alcotest.test_case "induced" `Quick test_graph_induced;
+          Alcotest.test_case "subgraph" `Quick test_subgraph_of_edges;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "is_forest" `Quick test_is_forest;
+          Alcotest.test_case "diameter" `Quick test_diameter;
+          Alcotest.test_case "bfs_tree" `Quick test_bfs_tree;
+        ] );
+      qsuite "traversal_props" [ prop_spanning_forest ];
+      ( "maxflow",
+        [
+          Alcotest.test_case "simple" `Quick test_maxflow_simple;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+        ] );
+      qsuite "maxflow_props" [ prop_maxflow_vs_brute ];
+      ("matching", [ Alcotest.test_case "perfect" `Quick test_matching_perfect ]);
+      qsuite "matching_props" [ prop_matching_vs_brute ];
+      ( "degeneracy",
+        [ Alcotest.test_case "known values" `Quick test_degeneracy_known ] );
+      qsuite "degeneracy_props" [ prop_degeneracy_orientation ];
+      ( "arboricity",
+        [
+          Alcotest.test_case "pseudo known" `Quick test_pseudo_arboricity_known;
+          Alcotest.test_case "density bound" `Quick test_density_lower_bound;
+          Alcotest.test_case "brute force" `Quick test_brute_force_arboricity;
+        ] );
+      qsuite "arboricity_props"
+        [
+          prop_pseudo_vs_brute_bounds; prop_densest_vs_brute;
+          prop_densest_certifies_pseudo;
+        ];
+      ( "densest",
+        [ Alcotest.test_case "known values" `Quick test_densest_known ] );
+      ("heap", [ Alcotest.test_case "basic" `Quick test_heap_basic ]);
+      qsuite "heap_props" [ prop_heap_sorts ];
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generators_shapes;
+          Alcotest.test_case "random tree" `Quick test_random_tree_is_tree;
+          Alcotest.test_case "forest union" `Quick test_forest_union_arboricity;
+          Alcotest.test_case "forest union simple" `Quick
+            test_forest_union_simple;
+          Alcotest.test_case "line multigraph" `Quick
+            test_line_multigraph_bounds;
+          Alcotest.test_case "list palettes" `Quick test_list_palettes;
+          Alcotest.test_case "new families" `Quick test_new_families;
+          Alcotest.test_case "k-tree" `Quick test_k_tree;
+          Alcotest.test_case "preferential attachment" `Quick
+            test_preferential_attachment;
+        ] );
+    ]
