@@ -41,9 +41,10 @@ let short_circuit_ablation () =
         if not (Coloring.would_close_cycle coloring e c) then
           Coloring.set coloring e c)
       edges;
-    List.iter
+    let scratch = Aug.scratch coloring in
+    Array.iter
       (fun e ->
-        match Aug.search coloring palette ~start:e () with
+        match Aug.search coloring palette ~start:e ~scratch () with
         | Aug.Stalled _ -> failwith "unrestricted exact search cannot stall"
         | Aug.Found (seq, _) ->
             let seq' = Aug.short_circuit coloring seq in
@@ -104,7 +105,8 @@ let radius_ablation () =
           Coloring.set coloring e c)
       edges;
     let stalls = ref 0 and max_len = ref 0 in
-    List.iter
+    let scratch = Aug.scratch coloring in
+    Array.iter
       (fun e ->
         let u, v = G.endpoints g e in
         let within =
@@ -112,7 +114,7 @@ let radius_ablation () =
           | None -> None
           | Some r -> Some (G.ball_of_set g [ u; v ] r)
         in
-        match Aug.augment_edge coloring palette ~edge:e ?within () with
+        match Aug.augment_edge coloring palette ~edge:e ?within ~scratch () with
         | Some stats ->
             max_len := max !max_len (stats.Aug.iterations + 1)
         | None -> incr stalls)

@@ -29,16 +29,17 @@ let run_instance st g palette =
     { max_len = 0; max_explored = 0; max_iters = 0; min_growth = infinity }
   in
   (* random insertion order, as in an adversarial arrival *)
-  let edges = Array.of_list (Coloring.uncolored coloring) in
+  let edges = Coloring.uncolored coloring in
   for i = Array.length edges - 1 downto 1 do
     let j = Random.State.int st (i + 1) in
     let tmp = edges.(i) in
     edges.(i) <- edges.(j);
     edges.(j) <- tmp
   done;
+  let scratch = Aug.scratch coloring in
   Array.iter
     (fun e ->
-      match Aug.search coloring palette ~start:e () with
+      match Aug.search coloring palette ~start:e ~scratch () with
       | Aug.Stalled _ -> failwith "stall above the arboricity"
       | Aug.Found (seq, stats) ->
           let seq' = Aug.short_circuit coloring seq in

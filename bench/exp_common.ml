@@ -14,6 +14,31 @@ module Verify = Nw_decomp.Verify
 let rng seed = Random.State.make [| seed; 0xbead |]
 
 (* ------------------------------------------------------------------ *)
+(* output sink                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every printing helper below writes through a domain-local sink. In the
+   default (sequential) mode the sink is stdout; when `--domains K` fans
+   experiments across Domain.spawn workers, each worker redirects its sink
+   to a per-experiment buffer so tables never interleave — the harness
+   prints the buffers in experiment order after joining. *)
+let sink : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_sink buf f =
+  Domain.DLS.set sink (Some buf);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set sink None) f
+
+let emit s =
+  match Domain.DLS.get sink with
+  | Some b -> Buffer.add_string b s
+  | None -> print_string s
+
+let out fmt = Printf.ksprintf emit fmt
+
+let flush_out () =
+  match Domain.DLS.get sink with None -> flush stdout | Some _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* table rendering                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -32,7 +57,9 @@ let write_csv ~title ~header ~rows =
   match !csv_dir with
   | None -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      (* tolerate the mkdir race between parallel bench domains *)
+      (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+       with Sys_error _ -> ());
       let path = Filename.concat dir (csv_slug title ^ ".csv") in
       let oc = open_out path in
       let quote cell =
@@ -67,18 +94,18 @@ let table ~title ~header ~rows =
           (fun acc row -> max acc (String.length (List.nth row i)))
           0 all)
   in
-  Printf.printf "\n== %s ==\n" title;
-  Printf.printf "%s\n" (render_row widths header);
-  Printf.printf "%s\n" (hrule widths);
-  List.iter (fun row -> Printf.printf "%s\n" (render_row widths row)) rows;
+  out "\n== %s ==\n" title;
+  out "%s\n" (render_row widths header);
+  out "%s\n" (hrule widths);
+  List.iter (fun row -> out "%s\n" (render_row widths row)) rows;
   write_csv ~title ~header ~rows;
-  flush stdout
+  flush_out ()
 
-let note fmt = Printf.printf ("   " ^^ fmt ^^ "\n")
+let note fmt = Printf.ksprintf (fun s -> emit ("   " ^ s ^ "\n")) fmt
 
 let section title =
-  Printf.printf "\n######## %s ########\n" title;
-  flush stdout
+  out "\n######## %s ########\n" title;
+  flush_out ()
 
 (* ------------------------------------------------------------------ *)
 (* formatting                                                          *)

@@ -5,7 +5,19 @@
    Run everything:        dune exec bench/main.exe
    Run a subset:          dune exec bench/main.exe -- e5 e7 t1
    Skip micro-benchmarks: dune exec bench/main.exe -- --no-micro
-   Also write CSV tables: dune exec bench/main.exe -- --csv results/ *)
+   Also write CSV tables: dune exec bench/main.exe -- --csv results/
+   Perf trajectory:       dune exec bench/main.exe -- --json
+                          (one BENCH_<exp>.json per experiment: wall clock,
+                           charged rounds, connectivity-query counts)
+   Parallel sweep:        dune exec bench/main.exe -- --domains 4
+                          (independent experiments fan out across domains;
+                           per-experiment output is buffered and printed in
+                           order)
+   Regression gate:       dune exec bench/main.exe -- --json --quick
+                          (skips the slowest experiments and the micro
+                           pass; completes in well under a minute)
+
+   Schema of the JSON records: docs/benchmarking.md. *)
 
 let experiments =
   [
@@ -77,7 +89,7 @@ module Micro = struct
   let e5_augment () =
     let palette = Palette.full g_small 5 in
     let coloring = Coloring.create g_small ~colors:5 in
-    List.iter
+    Array.iter
       (fun e ->
         ignore (Nw_core.Augmenting.augment_edge coloring palette ~edge:e ()))
       (Coloring.uncolored coloring)
@@ -195,22 +207,206 @@ module Micro = struct
       ~header:[ "kernel"; "ns/run" ] ~rows
 end
 
+(* ------------------------------------------------------------------ *)
+(* perf-trajectory records and parallel driver                          *)
+(* ------------------------------------------------------------------ *)
+
+(* experiments skipped under --quick: the two that dominate a full run *)
+let slow_experiments = [ "e9"; "e15" ]
+
+type record = {
+  name : string;
+  desc : string;
+  output : string; (* buffered tables ("" when streamed live) *)
+  wall_s : float;
+  charged_rounds : int;
+  uf_queries : int;
+  bfs_runs : int;
+  uf_rebuilds : int;
+  failed : string option;
+}
+
+(* run one experiment, snapshotting the process-wide round and
+   connectivity counters around it; exceptions are captured so one broken
+   experiment cannot take down a parallel sweep *)
+let run_one (name, desc, run) =
+  let module C = Nw_decomp.Coloring.Counters in
+  let c0 = C.snapshot () in
+  let r0 = Nw_localsim.Rounds.grand_total () in
+  let t0 = Unix.gettimeofday () in
+  let failed =
+    try
+      run ();
+      None
+    with exn -> Some (Printexc.to_string exn)
+  in
+  let t1 = Unix.gettimeofday () in
+  let c1 = C.snapshot () in
+  {
+    name;
+    desc;
+    output = "";
+    wall_s = t1 -. t0;
+    charged_rounds = Nw_localsim.Rounds.grand_total () - r0;
+    uf_queries = c1.C.uf_queries - c0.C.uf_queries;
+    bfs_runs = c1.C.bfs_runs - c0.C.bfs_runs;
+    uf_rebuilds = c1.C.uf_rebuilds - c0.C.uf_rebuilds;
+    failed;
+  }
+
+(* fan the job list across [k] domains (the calling domain works too).
+   Each worker claims jobs off a shared atomic index and buffers its
+   experiment output through the Exp_common domain-local sink; results
+   land in distinct array slots, published by Domain.join. *)
+let run_parallel k jobs =
+  let jobs = Array.of_list jobs in
+  let results = Array.make (Array.length jobs) None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length jobs then begin
+        let buf = Buffer.create 4096 in
+        let r = Exp_common.with_sink buf (fun () -> run_one jobs.(i)) in
+        results.(i) <- Some { r with output = Buffer.contents buf };
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    List.init (max 0 (min k (Array.length jobs) - 1)) (fun _ ->
+        Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join helpers;
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> assert false)
+       results)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* one BENCH_<exp>.json per experiment — the persistent perf trajectory;
+   schema documented in docs/benchmarking.md *)
+let write_json ~quick ~domains r =
+  let oc = open_out (Printf.sprintf "BENCH_%s.json" r.name) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"nw-bench/1\",\n\
+    \  \"exp\": \"%s\",\n\
+    \  \"desc\": \"%s\",\n\
+    \  \"quick\": %b,\n\
+    \  \"domains\": %d,\n\
+    \  \"counter_attribution\": \"%s\",\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"charged_rounds\": %d,\n\
+    \  \"connectivity\": {\n\
+    \    \"uf_queries\": %d,\n\
+    \    \"bfs_runs\": %d,\n\
+    \    \"uf_rebuilds\": %d\n\
+    \  },\n\
+    \  \"failed\": %s\n\
+     }\n"
+    (json_escape r.name) (json_escape r.desc) quick domains
+    (if domains > 1 then "process-wide" else "exact")
+    r.wall_s r.charged_rounds r.uf_queries r.bfs_runs r.uf_rebuilds
+    (match r.failed with
+    | None -> "null"
+    | Some msg -> Printf.sprintf "\"%s\"" (json_escape msg));
+  close_out oc
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let no_micro = List.mem "--no-micro" args in
-  (* --csv DIR: additionally dump every table as CSV under DIR *)
-  let rec strip_csv acc = function
+  let json = List.mem "--json" args in
+  let quick = List.mem "--quick" args in
+  (* --csv DIR / --domains K consume their argument *)
+  let domains = ref 1 in
+  let rec strip acc = function
     | "--csv" :: dir :: rest ->
         Exp_common.csv_dir := Some dir;
-        strip_csv acc rest
-    | x :: rest -> strip_csv (x :: acc) rest
+        strip acc rest
+    | "--domains" :: k :: rest ->
+        (match int_of_string_opt k with
+        | Some k when k >= 1 -> domains := k
+        | _ -> failwith "bench: --domains expects a positive integer");
+        strip acc rest
+    | [ (("--csv" | "--domains") as flag) ] ->
+        Printf.eprintf "bench: %s expects an argument\n" flag;
+        exit 2
+    | x :: rest -> strip (x :: acc) rest
     | [] -> List.rev acc
   in
-  let args = strip_csv [] args in
-  let selected = List.filter (fun a -> a <> "--no-micro") args in
-  let wanted name = selected = [] || List.mem name selected in
+  let args = strip [] args in
+  let flags = [ "--no-micro"; "--json"; "--quick" ] in
+  let selected = List.filter (fun a -> not (List.mem a flags)) args in
+  (match
+     List.filter
+       (fun s -> not (List.exists (fun (name, _, _) -> name = s) experiments))
+       selected
+   with
+  | [] -> ()
+  | bad ->
+      Printf.eprintf "bench: unknown experiment%s %s (known: %s)\n"
+        (if List.length bad = 1 then "" else "s")
+        (String.concat ", " bad)
+        (String.concat ", " (List.map (fun (name, _, _) -> name) experiments));
+      exit 2);
+  let wanted name =
+    if selected <> [] then List.mem name selected
+    else not (quick && List.mem name slow_experiments)
+  in
   Printf.printf
     "Nash-Williams forest decomposition: experiment harness\n(paper artifact index in DESIGN.md; paper-vs-measured in EXPERIMENTS.md)\n";
-  List.iter (fun (name, _desc, run) -> if wanted name then run ()) experiments;
-  if (not no_micro) && selected = [] then Micro.run ();
+  if quick && selected = [] then
+    Printf.printf "(--quick: skipping %s)\n"
+      (String.concat ", " slow_experiments);
+  let rec_domains = Domain.recommended_domain_count () in
+  if !domains > rec_domains then
+    Printf.printf
+      "(warning: --domains %d exceeds the %d hardware thread%s; domains \
+       will contend and the sweep may run slower than sequential)\n"
+      !domains rec_domains
+      (if rec_domains = 1 then "" else "s");
+  let jobs =
+    List.filter (fun (name, _, _) -> wanted name) experiments
+  in
+  let results =
+    if !domains > 1 then run_parallel !domains jobs
+    else List.map run_one jobs
+  in
+  List.iter
+    (fun r ->
+      print_string r.output;
+      match r.failed with
+      | None -> ()
+      | Some msg -> Printf.printf "\n!! %s FAILED: %s\n" r.name msg)
+    results;
+  if json then begin
+    List.iter (fun r -> write_json ~quick ~domains:!domains r) results;
+    Printf.printf "\nwrote %s\n"
+      (String.concat ", "
+         (List.map (fun r -> Printf.sprintf "BENCH_%s.json" r.name) results))
+  end;
+  if (not no_micro) && (not quick) && selected = [] then Micro.run ();
+  (match List.find_opt (fun r -> r.failed <> None) results with
+  | Some r ->
+      Printf.printf "\nexperiment %s failed; exiting nonzero.\n" r.name;
+      exit 1
+  | None -> ());
   Printf.printf "\nall selected experiments completed.\n"

@@ -71,7 +71,7 @@ let () =
           Aug.apply coloring seq';
           Verify.exn (Verify.partial_forest_decomposition coloring);
           Format.printf "augmentation applied; invariant verified (Fig 1b)@.")
-    (Coloring.uncolored coloring);
+    (Array.to_list (Coloring.uncolored coloring));
 
   Format.printf "@.final decomposition:@.";
   pp_coloring g coloring;

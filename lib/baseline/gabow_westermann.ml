@@ -13,6 +13,18 @@ let witness_of_stall g coloring palette start =
   Hashtbl.replace spanned v0 ();
   let in_set = Hashtbl.create 64 in
   Hashtbl.replace in_set start ();
+  (* the coloring is frozen during the closure computation, so each
+     C(e, c) is extracted once even though the fixpoint loop rescans every
+     member on every pass *)
+  let path_memo = Hashtbl.create 64 in
+  let path e c =
+    match Hashtbl.find_opt path_memo (e, c) with
+    | Some p -> p
+    | None ->
+        let p = Coloring.path coloring e c in
+        Hashtbl.add path_memo (e, c) p;
+        p
+  in
   let changed = ref true in
   while !changed do
     changed := false;
@@ -23,7 +35,7 @@ let witness_of_stall g coloring palette start =
         List.iter
           (fun c ->
             if own <> Some c then
-              match Coloring.path coloring e c with
+              match path e c with
               | None -> ()
               | Some path_edges ->
                   List.iter
@@ -46,14 +58,17 @@ let witness_of_stall g coloring palette start =
 
 let decompose g palette =
   let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
-  let rec color_all = function
-    | [] -> Ok coloring
-    | e :: rest -> (
-        match Augmenting.augment_edge coloring palette ~edge:e () with
-        | Some _ -> color_all rest
-        | None -> Error (witness_of_stall g coloring palette e))
+  let scratch = Augmenting.scratch coloring in
+  let edges = Coloring.uncolored coloring in
+  let rec color_all i =
+    if i >= Array.length edges then Ok coloring
+    else
+      let e = edges.(i) in
+      match Augmenting.augment_edge coloring palette ~edge:e ~scratch () with
+      | Some _ -> color_all (i + 1)
+      | None -> Error (witness_of_stall g coloring palette e)
   in
-  color_all (Coloring.uncolored coloring)
+  color_all 0
 
 let list_forest_partition g palette = decompose g palette
 

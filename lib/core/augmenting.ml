@@ -12,6 +12,28 @@ type search_stats = {
 
 type outcome = Found of sequence * search_stats | Stalled of search_stats
 
+(* Timestamped scratch for Algorithm 1, reusable across searches on the
+   same coloring (the hot loops of Forest_algo and Gabow–Westermann run
+   one search per edge): membership of the growing edge set E_i, the BFS
+   parent pointers pi : edge -> parent edge (line 9), and the "touched"
+   vertex set, all as int arrays stamped per search — no hashing, no
+   per-search allocation. *)
+type scratch = {
+  in_set : int array; (* edge -> stamp when it joined E_i *)
+  parent : int array; (* edge -> parent edge (valid when in_set current) *)
+  touched : int array; (* vertex -> stamp when first covered by E_i *)
+  mutable stamp : int;
+}
+
+let scratch coloring =
+  let g = Coloring.graph coloring in
+  {
+    in_set = Array.make (max 1 (G.m g)) 0;
+    parent = Array.make (max 1 (G.m g)) (-1);
+    touched = Array.make (max 1 (G.n g)) 0;
+    stamp = 0;
+  }
+
 let edge_allowed g within e =
   match within with
   | None -> true
@@ -19,42 +41,64 @@ let edge_allowed g within e =
       let u, v = G.endpoints g e in
       members.(u) && members.(v)
 
-let search coloring palette ~start ?within () =
+let search coloring palette ~start ?within ?scratch:sc () =
   let g = Coloring.graph coloring in
   (match Coloring.color coloring start with
   | None -> ()
   | Some _ -> invalid_arg "Augmenting.search: start edge already colored");
   if not (edge_allowed g within start) then
     invalid_arg "Augmenting.search: start edge outside the search region";
-  (* membership of the growing edge set E_i, and the BFS parent pointers
-     pi : edge -> parent edge (Algorithm 1 line 9) *)
-  let in_set = Hashtbl.create 64 in
-  let parent = Hashtbl.create 64 in
-  (* a vertex is "touched" when some E_i edge is incident to it; used to
-     test "adjacent to at least one edge of E_i" in O(1) *)
-  let touched = Hashtbl.create 64 in
-  let touch v = Hashtbl.replace touched v () in
-  let add_edge e =
-    Hashtbl.replace in_set e ();
-    let u, v = G.endpoints g e in
-    touch u;
-    touch v
+  let sc =
+    match sc with
+    | Some sc ->
+        if
+          Array.length sc.in_set < G.m g
+          || Array.length sc.touched < G.n g
+        then invalid_arg "Augmenting.search: scratch from a smaller graph";
+        sc
+    | None -> scratch coloring
   in
-  add_edge start;
+  sc.stamp <- sc.stamp + 1;
+  let now = sc.stamp in
+  let explored = ref 0 in
+  let in_set e = sc.in_set.(e) = now in
+  let touched v = sc.touched.(v) = now in
+  let touch v = sc.touched.(v) <- now in
+  let add_edge e p =
+    sc.in_set.(e) <- now;
+    sc.parent.(e) <- p;
+    incr explored
+  in
+  add_edge start (-1);
+  let u0, v0 = G.endpoints g start in
+  touch u0;
+  touch v0;
+  (* the coloring is immutable for the duration of the search, so C(e, c)
+     is a fixed path; memoize it per (edge, color) — members are rescanned
+     on every iteration and would otherwise re-extract the same path *)
+  let path_memo = Hashtbl.create 64 in
+  let path e c =
+    match Hashtbl.find_opt path_memo (e, c) with
+    | Some p -> p
+    | None ->
+        let p = Coloring.path coloring e c in
+        Hashtbl.add path_memo (e, c) p;
+        p
+  in
   let trace_back e c =
     (* walk pi pointers to the start edge; colors along the way are the
        current colors of the child edges (see Prop 3.3's construction) *)
     let rec walk e c acc =
       let acc = (e, c) :: acc in
-      match Hashtbl.find_opt parent e with
-      | None -> acc
-      | Some p ->
-          let c_prev =
-            match Coloring.color coloring e with
-            | Some c' -> c'
-            | None -> assert false
-          in
-          walk p c_prev acc
+      let p = sc.parent.(e) in
+      if p < 0 then acc
+      else
+        let c_prev =
+          match Coloring.color coloring e with
+          | Some c' -> c'
+          | None -> assert false
+        in
+        walk p c_prev acc
     in
     walk e c []
   in
@@ -71,7 +115,7 @@ let search coloring palette ~start ?within () =
             if !found <> None then ()
             else if own_color = Some c then colors rest
             else begin
-              (match Coloring.path coloring e c with
+              (match path e c with
               | None ->
                   (* C(e, c) = ∅: almost augmenting sequence found *)
                   found := Some (trace_back e c)
@@ -79,14 +123,10 @@ let search coloring palette ~start ?within () =
                   (* add path edges adjacent to E_i (and allowed) *)
                   List.iter
                     (fun e' ->
-                      if
-                        (not (Hashtbl.mem in_set e'))
-                        && edge_allowed g within e'
-                      then begin
+                      if (not (in_set e')) && edge_allowed g within e' then begin
                         let u, v = G.endpoints g e' in
-                        if Hashtbl.mem touched u || Hashtbl.mem touched v then begin
-                          Hashtbl.replace in_set e' ();
-                          Hashtbl.replace parent e' e;
+                        if touched u || touched v then begin
+                          add_edge e' e;
                           fresh := e' :: !fresh
                         end
                       end)
@@ -106,11 +146,7 @@ let search coloring palette ~start ?within () =
     in
     scan members;
     let stats () =
-      {
-        iterations = i;
-        explored = Hashtbl.length in_set;
-        growth = List.rev !growth;
-      }
+      { iterations = i; explored = !explored; growth = List.rev !growth }
     in
     match !found with
     | Some seq -> Found (seq, stats ())
@@ -125,7 +161,7 @@ let search coloring palette ~start ?within () =
           !fresh;
         if !fresh = [] then Stalled (stats ())
         else begin
-          growth := (i + 1, Hashtbl.length in_set) :: !growth;
+          growth := (i + 1, !explored) :: !growth;
           iterate (i + 1) (!fresh @ members)
         end
   in
@@ -133,21 +169,27 @@ let search coloring palette ~start ?within () =
 
 let short_circuit coloring seq =
   (* Proposition 3.4: while some e_i lies on C(e_j, c_j) with j < i-1,
-     splice out the middle. Paths refer to the unmodified coloring, so they
-     can be memoized per (edge, color). *)
+     splice out the middle. Paths refer to the unmodified coloring, so
+     each is memoized per (edge, color) — as a hashed edge set, making
+     every membership probe O(1) instead of a List.mem scan. *)
   let memo = Hashtbl.create 64 in
-  let path_mem e c =
+  let path_set e c =
     match Hashtbl.find_opt memo (e, c) with
-    | Some p -> p
+    | Some s -> s
     | None ->
-        let p = Coloring.path coloring e c in
-        Hashtbl.add memo (e, c) p;
-        p
+        let s =
+          match Coloring.path coloring e c with
+          | None -> None
+          | Some edges ->
+              let h = Hashtbl.create (2 * List.length edges) in
+              List.iter (fun x -> Hashtbl.replace h x ()) edges;
+              Some h
+        in
+        Hashtbl.add memo (e, c) s;
+        s
   in
   let on_path e (ej, cj) =
-    match path_mem ej cj with
-    | None -> false
-    | Some edges -> List.mem e edges
+    match path_set ej cj with None -> false | Some h -> Hashtbl.mem h e
   in
   let rec compress seq =
     let arr = Array.of_list seq in
@@ -184,8 +226,8 @@ let apply coloring seq =
      validated by Coloring.set's cycle check *)
   List.iter (fun (e, c) -> Coloring.set coloring e c) (List.rev seq)
 
-let augment_edge coloring palette ~edge ?within () =
-  match search coloring palette ~start:edge ?within () with
+let augment_edge coloring palette ~edge ?within ?scratch () =
+  match search coloring palette ~start:edge ?within ?scratch () with
   | Stalled _ -> None
   | Found (seq, stats) ->
       let seq = short_circuit coloring seq in

@@ -35,16 +35,28 @@ type outcome =
           least [(1+eps)·α] this certifies a local density violation and
           cannot happen (Prop 3.3); callers treat it as failure. *)
 
-(** [search coloring palette ~start ?within ()] runs Algorithm 1 from the
-    uncolored edge [start]. When [within] is given, only edges with both
-    endpoints in that vertex set are explored (the cluster-local search of
-    Algorithm 2). The result sequence is almost augmenting: (A1), (A2),
-    (A4), (A5). *)
+type scratch
+(** Reusable timestamped working arrays for {!search} (the edge set [E_i],
+    the parent pointers, the touched-vertex set). Hot loops that run one
+    search per edge allocate this once via {!scratch} and pass it to every
+    call; a search without one allocates a fresh scratch internally. *)
+
+(** [scratch coloring] allocates search scratch sized for [coloring]'s
+    graph. A scratch may be reused across colorings of graphs no larger
+    than the one it was created for. *)
+val scratch : Nw_decomp.Coloring.t -> scratch
+
+(** [search coloring palette ~start ?within ?scratch ()] runs Algorithm 1
+    from the uncolored edge [start]. When [within] is given, only edges
+    with both endpoints in that vertex set are explored (the cluster-local
+    search of Algorithm 2). The result sequence is almost augmenting:
+    (A1), (A2), (A4), (A5). *)
 val search :
   Nw_decomp.Coloring.t ->
   Nw_decomp.Palette.t ->
   start:int ->
   ?within:bool array ->
+  ?scratch:scratch ->
   unit ->
   outcome
 
@@ -60,12 +72,14 @@ val short_circuit : Nw_decomp.Coloring.t -> sequence -> sequence
     @raise Invalid_argument if the sequence is not augmenting. *)
 val apply : Nw_decomp.Coloring.t -> sequence -> unit
 
-(** [augment_edge coloring palette ~edge ?within ()] searches, short-circuits
-    and applies; [Some stats] on success, [None] on a stall. *)
+(** [augment_edge coloring palette ~edge ?within ?scratch ()] searches,
+    short-circuits and applies; [Some stats] on success, [None] on a
+    stall. *)
 val augment_edge :
   Nw_decomp.Coloring.t ->
   Nw_decomp.Palette.t ->
   edge:int ->
   ?within:bool array ->
+  ?scratch:scratch ->
   unit ->
   search_stats option

@@ -175,13 +175,11 @@ let is_good coloring ~core ~region =
         let u = Queue.take q in
         if not region.(u) then ok := false
         else
-          List.iter
-            (fun (w, _) ->
+          Coloring.iter_colored_incident coloring u c (fun w _ ->
               if not seen.(w) then begin
                 seen.(w) <- true;
                 Queue.add w q
               end)
-            (Coloring.colored_incident coloring u c)
       done
     end
   done;

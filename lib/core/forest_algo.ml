@@ -64,6 +64,7 @@ let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
   in
   let removed = Array.make m false in
   let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
+  let scratch = Augmenting.scratch coloring in
   let good_cuts = ref 0 and bad_cuts = ref 0 and stalls = ref 0 in
   let max_seq = ref 0 and max_explored = ref 0 and max_iters = ref 0 in
   let logn = int_of_float (log_ceil n) in
@@ -87,7 +88,7 @@ let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
               then begin
                 match
                   Augmenting.augment_edge coloring palette ~edge:e
-                    ~within:region ()
+                    ~within:region ~scratch ()
                 with
                 | Some st ->
                     let len = st.Augmenting.iterations + 1 in
@@ -211,15 +212,16 @@ let list_forest_decomposition g palette ~epsilon ~alpha ?(split = `Mpx)
             ~alpha_star:(max 1 alpha_left) ~rng ~rounds
         else begin
           let c1 = Coloring.create sub ~colors in
-          List.iter
+          let scratch = Augmenting.scratch c1 in
+          Coloring.iter_uncolored
             (fun e ->
-              match Augmenting.augment_edge c1 q1_sub ~edge:e () with
+              match Augmenting.augment_edge c1 q1_sub ~edge:e ~scratch () with
               | Some _ -> ()
               | None ->
                   failwith
                     "Forest_algo.list_forest_decomposition: leftover \
                      palettes below the leftover arboricity")
-            (Coloring.uncolored c1);
+            c1;
           Rounds.charge rounds ~label:"forest-algo/leftover-augment"
             (2 * int_of_float (log_ceil (G.n g)));
           c1

@@ -1,30 +1,103 @@
 module G = Nw_graphs.Multigraph
 
+(* Process-wide instrumentation of the connectivity layer. Atomic so that
+   parallel bench domains can share them; the bench harness snapshots
+   before/after each experiment and reports deltas in BENCH_*.json. *)
+module Counters = struct
+  let uf_queries = Atomic.make 0
+  let bfs_runs = Atomic.make 0
+  let uf_rebuilds = Atomic.make 0
+
+  type snapshot = { uf_queries : int; bfs_runs : int; uf_rebuilds : int }
+
+  let snapshot () =
+    {
+      uf_queries = Atomic.get uf_queries;
+      bfs_runs = Atomic.get bfs_runs;
+      uf_rebuilds = Atomic.get uf_rebuilds;
+    }
+end
+
+(* Adjacency is a doubly-linked list per (color, vertex), threaded through
+   two flat arrays indexed by "node id" [2e + slot] (slot 0 = the src
+   endpoint of e, slot 1 = dst). An edge belongs to at most one color, so
+   one nxt/prv pair per node suffices globally. Inserts prepend and
+   unlinks are in place, which reproduces exactly the iteration order of
+   the previous [(nbr, edge) list] representation (prepend + order-
+   preserving filter) while making deletion O(1) instead of O(deg).
+
+   Each color additionally threads its edges through [enxt]/[eprv]
+   (head [ehead.(c)]) so the lazy union-find rebuild below touches only
+   that color's edges, never all m. *)
+
 type t = {
   g : G.t;
   colors : int;
   assign : int array; (* edge -> color or -1 *)
-  adj : (int * int) list array array; (* color -> vertex -> (nbr, edge) *)
   mutable colored : int;
+  (* (color, vertex) adjacency DLLs over node ids 2e+slot; -1 = nil *)
+  head : int array array; (* color -> vertex -> node id *)
+  nxt : int array; (* 2m *)
+  prv : int array; (* 2m *)
+  (* per-color edge DLLs; -1 = nil *)
+  ehead : int array;
+  enxt : int array; (* m *)
+  eprv : int array; (* m *)
+  ecount : int array; (* edges currently in each color *)
+  (* incremental per-color connectivity: union-find with path compression
+     and union by size, carrying per-component vertex and edge counts.
+     Lazily allocated ([||]) and lazily rebuilt: [uf_gen] is bumped on any
+     deletion from the color, [uf_built] records the generation of the
+     last rebuild; the class is clean iff they agree. *)
+  uf_parent : int array array; (* color -> n *)
+  uf_size : int array array; (* root -> component vertex count *)
+  uf_edges : int array array; (* root -> component edge count *)
+  uf_gen : int array;
+  uf_built : int array;
+  (* rooted spanning forest per color, maintained together with the
+     union-find (same laziness): parent vertex / parent edge / depth, so
+     path extraction is an O(path) LCA climb instead of a BFS over the
+     component. Insertions re-root the smaller side (small-to-large);
+     deletions fall back on the lazy rebuild. *)
+  fp_vertex : int array array; (* color -> vertex -> parent vertex, -1 root *)
+  fp_edge : int array array; (* color -> vertex -> edge to parent, -1 root *)
+  fp_depth : int array array; (* color -> vertex -> depth from its root *)
   (* timestamped BFS scratch, shared across queries *)
   mark : int array;
   via : int array; (* vertex -> edge used to reach it in current BFS *)
   pred : int array; (* vertex -> predecessor vertex in current BFS *)
+  qbuf : int array; (* BFS queue buffer for rebuild / reroot *)
   mutable stamp : int;
 }
 
 let create g ~colors =
   if colors < 0 then invalid_arg "Coloring.create: negative color count";
   let n = G.n g in
+  let m = G.m g in
   {
     g;
     colors;
-    assign = Array.make (G.m g) (-1);
-    adj = Array.init colors (fun _ -> Array.make n []);
+    assign = Array.make m (-1);
     colored = 0;
+    head = Array.init colors (fun _ -> Array.make n (-1));
+    nxt = Array.make (2 * m) (-1);
+    prv = Array.make (2 * m) (-1);
+    ehead = Array.make colors (-1);
+    enxt = Array.make m (-1);
+    eprv = Array.make m (-1);
+    ecount = Array.make colors 0;
+    uf_parent = Array.make colors [||];
+    uf_size = Array.make colors [||];
+    uf_edges = Array.make colors [||];
+    uf_gen = Array.make colors 0;
+    uf_built = Array.make colors (-1);
+    fp_vertex = Array.make colors [||];
+    fp_edge = Array.make colors [||];
+    fp_depth = Array.make colors [||];
     mark = Array.make n 0;
     via = Array.make n (-1);
     pred = Array.make n (-1);
+    qbuf = Array.make n 0;
     stamp = 0;
   }
 
@@ -38,11 +111,195 @@ let color t e =
 let colored_count t = t.colored
 
 let uncolored t =
-  let acc = ref [] in
-  for e = Array.length t.assign - 1 downto 0 do
-    if t.assign.(e) < 0 then acc := e :: !acc
+  let k = Array.length t.assign - t.colored in
+  let out = Array.make k 0 in
+  let j = ref 0 in
+  for e = 0 to Array.length t.assign - 1 do
+    if t.assign.(e) < 0 then begin
+      out.(!j) <- e;
+      incr j
+    end
   done;
-  !acc
+  out
+
+let iter_uncolored f t =
+  for e = 0 to Array.length t.assign - 1 do
+    if t.assign.(e) < 0 then f e
+  done
+
+(* ------------------------------------------------------------------ *)
+(* adjacency DLL primitives                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* neighbor reached through node [nd] of vertex [x]'s list: the endpoint
+   of edge [nd/2] on the other slot *)
+let node_neighbor t nd =
+  let e = nd lsr 1 in
+  let u, v = G.endpoints t.g e in
+  if nd land 1 = 0 then v else u
+
+let iter_adj t c x f =
+  let nd = ref t.head.(c).(x) in
+  while !nd >= 0 do
+    let cur = !nd in
+    nd := t.nxt.(cur);
+    f (node_neighbor t cur) (cur lsr 1)
+  done
+
+let link_node t c x nd =
+  let h = t.head.(c).(x) in
+  t.nxt.(nd) <- h;
+  t.prv.(nd) <- -1;
+  if h >= 0 then t.prv.(h) <- nd;
+  t.head.(c).(x) <- nd
+
+let unlink_node t c x nd =
+  let p = t.prv.(nd) and n = t.nxt.(nd) in
+  if p >= 0 then t.nxt.(p) <- n else t.head.(c).(x) <- n;
+  if n >= 0 then t.prv.(n) <- p;
+  t.nxt.(nd) <- -1;
+  t.prv.(nd) <- -1
+
+let link_edge t c e =
+  let h = t.ehead.(c) in
+  t.enxt.(e) <- h;
+  t.eprv.(e) <- -1;
+  if h >= 0 then t.eprv.(h) <- e;
+  t.ehead.(c) <- e;
+  t.ecount.(c) <- t.ecount.(c) + 1
+
+let unlink_edge t c e =
+  let p = t.eprv.(e) and n = t.enxt.(e) in
+  if p >= 0 then t.enxt.(p) <- n else t.ehead.(c) <- n;
+  if n >= 0 then t.eprv.(n) <- p;
+  t.enxt.(e) <- -1;
+  t.eprv.(e) <- -1;
+  t.ecount.(c) <- t.ecount.(c) - 1
+
+(* ------------------------------------------------------------------ *)
+(* per-color union-find                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec uf_find p x =
+  let px = p.(x) in
+  if px = x then x
+  else begin
+    let root = uf_find p px in
+    p.(x) <- root;
+    root
+  end
+
+(* union endpoints of one more edge; caller guarantees acyclicity except
+   during rebuild, where a same-root union would indicate a broken forest
+   invariant and is counted on the root anyway *)
+let uf_union t c u v =
+  let p = t.uf_parent.(c) in
+  let ru = uf_find p u and rv = uf_find p v in
+  let sz = t.uf_size.(c) and ed = t.uf_edges.(c) in
+  if ru = rv then ed.(ru) <- ed.(ru) + 1
+  else begin
+    let big, small = if sz.(ru) >= sz.(rv) then (ru, rv) else (rv, ru) in
+    p.(small) <- big;
+    sz.(big) <- sz.(big) + sz.(small);
+    ed.(big) <- ed.(big) + ed.(small) + 1
+  end
+
+let uf_rebuild t c =
+  let n = G.n t.g in
+  if Array.length t.uf_parent.(c) = 0 then begin
+    t.uf_parent.(c) <- Array.init n (fun i -> i);
+    t.uf_size.(c) <- Array.make n 1;
+    t.uf_edges.(c) <- Array.make n 0;
+    t.fp_vertex.(c) <- Array.make n (-1);
+    t.fp_edge.(c) <- Array.make n (-1);
+    t.fp_depth.(c) <- Array.make n (-1)
+  end
+  else begin
+    let p = t.uf_parent.(c) in
+    for i = 0 to n - 1 do
+      p.(i) <- i
+    done;
+    Array.fill t.uf_size.(c) 0 n 1;
+    Array.fill t.uf_edges.(c) 0 n 0;
+    Array.fill t.fp_vertex.(c) 0 n (-1);
+    Array.fill t.fp_edge.(c) 0 n (-1);
+    Array.fill t.fp_depth.(c) 0 n (-1)
+  end;
+  let e = ref t.ehead.(c) in
+  while !e >= 0 do
+    let u, v = G.endpoints t.g !e in
+    uf_union t c u v;
+    e := t.enxt.(!e)
+  done;
+  (* rebuild the rooted spanning forest: BFS each component, parents
+     pointing toward the component's lowest-id unvisited vertex *)
+  let pv = t.fp_vertex.(c) and pe = t.fp_edge.(c) and dep = t.fp_depth.(c) in
+  for r = 0 to n - 1 do
+    if dep.(r) < 0 then begin
+      dep.(r) <- 0;
+      t.qbuf.(0) <- r;
+      let tail = ref 1 in
+      let h = ref 0 in
+      while !h < !tail do
+        let x = t.qbuf.(!h) in
+        incr h;
+        iter_adj t c x (fun w e ->
+            if dep.(w) < 0 then begin
+              dep.(w) <- dep.(x) + 1;
+              pv.(w) <- x;
+              pe.(w) <- e;
+              t.qbuf.(!tail) <- w;
+              incr tail
+            end)
+      done
+    end
+  done;
+  t.uf_built.(c) <- t.uf_gen.(c);
+  Atomic.incr Counters.uf_rebuilds
+
+let ensure_uf t c = if t.uf_built.(c) <> t.uf_gen.(c) then uf_rebuild t c
+
+(* Re-hang vertex [v]'s tree in color [c] below [u] through edge [e]:
+   v becomes the subtree root attached to u, and every vertex of v's old
+   tree is re-parented toward v by a BFS over the color's adjacency (e is
+   not linked yet, so the BFS cannot escape into u's tree). The caller
+   always re-roots the smaller side, so each vertex is re-rooted at most
+   O(log n) times across a build (small-to-large). *)
+let reroot_under t c ~u ~v ~e =
+  let pv = t.fp_vertex.(c) and pe = t.fp_edge.(c) and dep = t.fp_depth.(c) in
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  t.mark.(v) <- stamp;
+  dep.(v) <- dep.(u) + 1;
+  pv.(v) <- u;
+  pe.(v) <- e;
+  t.qbuf.(0) <- v;
+  let tail = ref 1 in
+  let h = ref 0 in
+  while !h < !tail do
+    let x = t.qbuf.(!h) in
+    incr h;
+    iter_adj t c x (fun w e' ->
+        if t.mark.(w) <> stamp then begin
+          t.mark.(w) <- stamp;
+          dep.(w) <- dep.(x) + 1;
+          pv.(w) <- x;
+          pe.(w) <- e';
+          t.qbuf.(!tail) <- w;
+          incr tail
+        end)
+  done
+
+(* connectivity of u and v inside color c, O(alpha(n)) amortized *)
+let uf_connected t c u v =
+  ensure_uf t c;
+  Atomic.incr Counters.uf_queries;
+  let p = t.uf_parent.(c) in
+  uf_find p u = uf_find p v
+
+(* ------------------------------------------------------------------ *)
+(* BFS path extraction (kept only for extraction and as a test oracle)  *)
+(* ------------------------------------------------------------------ *)
 
 (* Bidirectional BFS inside color class [c] between [src] and [dst], never
    crossing edge [skip]. Expands the smaller frontier and stops as soon as
@@ -54,6 +311,7 @@ let uncolored t =
    met via edge [e] between [x] (src side) and [w] (dst side). The
    [via]/[pred] scratch then encodes both half-paths. *)
 let bfs_color t c src dst skip =
+  Atomic.incr Counters.bfs_runs;
   (* two stamps: src side = stamp, dst side = stamp + 1 *)
   t.stamp <- t.stamp + 2;
   let s_src = t.stamp - 1 and s_dst = t.stamp in
@@ -72,19 +330,16 @@ let bfs_color t c src dst skip =
     List.iter
       (fun x ->
         if !meeting = None then
-          List.iter
-            (fun (w, e) ->
+          iter_adj t c x (fun w e ->
               if !meeting = None && e <> skip then
                 if t.mark.(w) = other then
-                  meeting :=
-                    Some (if from_src then (x, w, e) else (w, x, e))
+                  meeting := Some (if from_src then (x, w, e) else (w, x, e))
                 else if t.mark.(w) <> my then begin
                   t.mark.(w) <- my;
                   t.via.(w) <- e;
                   t.pred.(w) <- x;
                   next := w :: !next
-                end)
-            t.adj.(c).(x))
+                end))
       !frontier;
     frontier := !next
   in
@@ -103,25 +358,31 @@ let bfs_color t c src dst skip =
 let would_close_cycle t e c =
   if c < 0 || c >= t.colors then
     invalid_arg "Coloring.would_close_cycle: color out of range";
+  if t.assign.(e) = c then
+    (* color classes are forests: u and v are joined only through e itself *)
+    false
+  else begin
+    let u, v = G.endpoints t.g e in
+    u = v || uf_connected t c u v
+  end
+
+let oracle_would_close_cycle t e c =
+  if c < 0 || c >= t.colors then
+    invalid_arg "Coloring.oracle_would_close_cycle: color out of range";
   let u, v = G.endpoints t.g e in
   bfs_color t c u v e <> None
 
-let remove_from_adj t e =
+let unset t e =
   let c = t.assign.(e) in
   if c >= 0 then begin
     let u, v = G.endpoints t.g e in
-    let strip x =
-      t.adj.(c).(x) <- List.filter (fun (_, e') -> e' <> e) t.adj.(c).(x)
-    in
-    strip u;
-    strip v
-  end
-
-let unset t e =
-  if t.assign.(e) >= 0 then begin
-    remove_from_adj t e;
+    unlink_node t c u (2 * e);
+    unlink_node t c v ((2 * e) + 1);
+    unlink_edge t c e;
     t.assign.(e) <- -1;
-    t.colored <- t.colored - 1
+    t.colored <- t.colored - 1;
+    (* deletions invalidate only this color; rebuilt lazily on next query *)
+    t.uf_gen.(c) <- t.uf_gen.(c) + 1
   end
 
 let set t e c =
@@ -132,10 +393,20 @@ let set t e c =
       invalid_arg "Coloring.set: would close a cycle";
     unset t e;
     let u, v = G.endpoints t.g e in
-    t.adj.(c).(u) <- (v, e) :: t.adj.(c).(u);
-    t.adj.(c).(v) <- (u, e) :: t.adj.(c).(v);
+    (* the cycle check above just ensured color c's union-find is clean
+       (and allocated), so insertion maintains it incrementally — no
+       invalidation. The rooted forest re-hangs the smaller side before
+       the edge enters the adjacency lists. *)
+    let p = t.uf_parent.(c) in
+    if t.uf_size.(c).(uf_find p u) >= t.uf_size.(c).(uf_find p v) then
+      reroot_under t c ~u ~v ~e
+    else reroot_under t c ~u:v ~v:u ~e;
+    link_node t c u (2 * e);
+    link_node t c v ((2 * e) + 1);
+    link_edge t c e;
     t.assign.(e) <- c;
-    t.colored <- t.colored + 1
+    t.colored <- t.colored + 1;
+    uf_union t c u v
   end
 
 let path t e c =
@@ -143,14 +414,47 @@ let path t e c =
   if t.assign.(e) = c then Some [ e ]
   else begin
     let u, v = G.endpoints t.g e in
-    match bfs_color t c u v e with
-    | None -> None
-    | Some (x, w, mid) ->
-        (* half-path from a meeting endpoint back to its root *)
-        let rec walk stop_at y acc =
-          if y = stop_at then acc else walk stop_at t.pred.(y) (t.via.(y) :: acc)
-        in
-        Some (walk u x [] @ (mid :: walk v w []))
+    if u = v then begin
+      (* self-loop: no tree path; legacy BFS answer for API compatibility *)
+      match bfs_color t c u v e with
+      | None -> None
+      | Some (x, w, mid) ->
+          let rec walk stop_at y acc =
+            if y = stop_at then acc
+            else walk stop_at t.pred.(y) (t.via.(y) :: acc)
+          in
+          Some (walk u x [] @ (mid :: walk v w []))
+    end
+    else if not (uf_connected t c u v) then
+      (* O(alpha) disconnection test: the common case during augmentation *)
+      None
+    else begin
+      (* extract the unique tree path by climbing the rooted forest to the
+         LCA: O(path length), no component traversal. Emitted as the
+         u-side half in u->lca order followed by the v-side half in
+         v->lca order, mirroring the bidirectional-BFS half-path format
+         this replaces. *)
+      let pv = t.fp_vertex.(c)
+      and pe = t.fp_edge.(c)
+      and dep = t.fp_depth.(c) in
+      let uside = ref [] and vside = ref [] in
+      let x = ref u and y = ref v in
+      while dep.(!x) > dep.(!y) do
+        uside := pe.(!x) :: !uside;
+        x := pv.(!x)
+      done;
+      while dep.(!y) > dep.(!x) do
+        vside := pe.(!y) :: !vside;
+        y := pv.(!y)
+      done;
+      while !x <> !y do
+        uside := pe.(!x) :: !uside;
+        x := pv.(!x);
+        vside := pe.(!y) :: !vside;
+        y := pv.(!y)
+      done;
+      Some (List.rev_append !uside (List.rev !vside))
+    end
   end
 
 let component_edges t v c =
@@ -164,18 +468,33 @@ let component_edges t v c =
   let acc = ref [] in
   while not (Queue.is_empty q) do
     let u = Queue.take q in
-    List.iter
-      (fun (w, e) ->
+    iter_adj t c u (fun w e ->
         if t.mark.(w) <> stamp then begin
           t.mark.(w) <- stamp;
           acc := e :: !acc;
           Queue.add w q
         end)
-      t.adj.(c).(u)
   done;
   !acc
 
-let colored_incident t v c = t.adj.(c).(v)
+let component_size t v c =
+  if c < 0 || c >= t.colors then
+    invalid_arg "Coloring.component_size: color out of range";
+  ensure_uf t c;
+  t.uf_size.(c).(uf_find t.uf_parent.(c) v)
+
+let component_edge_count t v c =
+  if c < 0 || c >= t.colors then
+    invalid_arg "Coloring.component_edge_count: color out of range";
+  ensure_uf t c;
+  t.uf_edges.(c).(uf_find t.uf_parent.(c) v)
+
+let colored_incident t v c =
+  let acc = ref [] in
+  iter_adj t c v (fun w e -> acc := (w, e) :: !acc);
+  List.rev !acc
+
+let iter_colored_incident t v c f = iter_adj t c v f
 
 let to_array t =
   Array.map (fun c -> if c < 0 then None else Some c) t.assign

@@ -7,6 +7,16 @@
     color-[c] forest — which drives the augmenting-sequence machinery of
     Section 3 of the paper.
 
+    Connectivity questions ("would coloring [e] with [c] close a cycle?",
+    "is [C(e, c)] empty?") are answered by an incremental per-color
+    union-find in O(α(n)) amortized: insertions ({!set}) update it in
+    place, deletions ({!unset}, recoloring) invalidate only the affected
+    color via a generation counter, and the next query on that color
+    lazily rebuilds it from the color's own edge list. Breadth-first
+    search survives solely for actual path extraction ({!path} on a
+    connected pair) and as the differential-testing oracle
+    ({!oracle_would_close_cycle}).
+
     Invariant (enforced on every {!set}): each color class is a forest. *)
 
 type t
@@ -23,12 +33,23 @@ val color : t -> int -> int option
 (** Number of currently colored edges. *)
 val colored_count : t -> int
 
-(** [uncolored t] lists the uncolored edge ids, ascending. *)
-val uncolored : t -> int list
+(** [uncolored t] is the uncolored edge ids, ascending, in one freshly
+    allocated array of exactly the right size. *)
+val uncolored : t -> int array
+
+(** [iter_uncolored f t] calls [f] on each uncolored edge id, ascending,
+    without allocating. *)
+val iter_uncolored : (int -> unit) -> t -> unit
 
 (** [would_close_cycle t e c] holds when the endpoints of [e] are already
-    connected inside the color-[c] forest by edges other than [e]. *)
+    connected inside the color-[c] forest by edges other than [e].
+    O(α(n)) amortized via the per-color union-find; never runs a BFS. *)
 val would_close_cycle : t -> int -> int -> bool
+
+(** Same question answered by bidirectional BFS, bypassing the union-find
+    cache entirely. Only for differential tests and benchmarks comparing
+    the cached and uncached predicates. *)
+val oracle_would_close_cycle : t -> int -> int -> bool
 
 (** [set t e c] colors edge [e] with [c], first removing any previous color.
     @raise Invalid_argument if this closes a cycle in color [c]. *)
@@ -37,17 +58,35 @@ val set : t -> int -> int -> unit
 (** [unset t e] removes the color of [e] (no-op when uncolored). *)
 val unset : t -> int -> unit
 
-(** [path t e c] is [C(e, c)]: the edge-id path joining the endpoints of [e]
-    inside the color-[c] forest, or [None] when they are disconnected.
-    If [e] itself is colored [c] the result is [Some [e]]. *)
+(** [path t e c] is [C(e, c)]: the edge-id path joining the endpoints
+    [u]–[v] of [e] inside the color-[c] forest, or [None] when they are
+    disconnected. If [e] itself is colored [c] the result is [Some [e]].
+    The disconnected case is decided in O(α(n)) without BFS; the
+    connected case is extracted from the maintained rooted forest in
+    O(path length), listed as the [u]-side half (from [u] towards the
+    meeting point) followed by the [v]-side half (from [v] towards it) —
+    consumers treat the result as an edge set. *)
 val path : t -> int -> int -> int list option
 
 (** [component_edges t v c] lists the edges of the color-[c] tree containing
     vertex [v] (empty when [v] is isolated in that color). *)
 val component_edges : t -> int -> int -> int list
 
+(** [component_size t v c] is the number of vertices of the color-[c] tree
+    containing [v] (1 when isolated), from the union-find, in O(α(n)). *)
+val component_size : t -> int -> int -> int
+
+(** [component_edge_count t v c] is the number of edges of that tree
+    (always [component_size - 1] while the forest invariant holds). *)
+val component_edge_count : t -> int -> int -> int
+
 (** Per-vertex incident edges of one color: [(neighbor, edge)] list. *)
 val colored_incident : t -> int -> int -> (int * int) list
+
+(** [iter_colored_incident t v c f] calls [f neighbor edge] for each
+    color-[c] edge at [v], most recently colored first, without
+    materializing a list. *)
+val iter_colored_incident : t -> int -> int -> (int -> int -> unit) -> unit
 
 (** Snapshot of all edge colors ([None] = uncolored). Fresh array. *)
 val to_array : t -> int option array
@@ -61,3 +100,12 @@ val copy : t -> t
 (** [subgraph t c] is the color-[c] forest as a graph on all of [g]'s
     vertices, with the map from new edge ids to original ids. *)
 val subgraph : t -> int -> Nw_graphs.Multigraph.t * int array
+
+(** Process-wide query counters (atomic, shared across bench domains):
+    union-find connectivity queries, BFS executions, lazy union-find
+    rebuilds. The bench harness reports deltas per experiment. *)
+module Counters : sig
+  type snapshot = { uf_queries : int; bfs_runs : int; uf_rebuilds : int }
+
+  val snapshot : unit -> snapshot
+end

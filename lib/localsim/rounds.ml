@@ -6,11 +6,18 @@ type t = {
 
 let create () = { tbl = Hashtbl.create 16; order = []; total = 0 }
 
+(* process-wide sum over every ledger ever charged (atomic: bench domains
+   share it); the bench harness snapshots deltas per experiment *)
+let grand = Atomic.make 0
+
+let grand_total () = Atomic.get grand
+
 let charge t ~label r =
   if r < 0 then invalid_arg "Rounds.charge: negative rounds";
   if not (Hashtbl.mem t.tbl label) then t.order <- label :: t.order;
   Hashtbl.replace t.tbl label (r + Option.value ~default:0 (Hashtbl.find_opt t.tbl label));
-  t.total <- t.total + r
+  t.total <- t.total + r;
+  ignore (Atomic.fetch_and_add grand r)
 
 let total t = t.total
 

@@ -18,6 +18,12 @@ val charge : t -> label:string -> int -> unit
 (** Total rounds charged so far. *)
 val total : t -> int
 
+(** Process-wide total across {e all} ledgers since program start
+    (atomic, so bench domains can share it). The bench harness snapshots
+    this before/after an experiment to attribute charged rounds without
+    threading every ledger out. *)
+val grand_total : unit -> int
+
 (** Per-label breakdown in first-charge order. *)
 val ledger : t -> (string * int) list
 

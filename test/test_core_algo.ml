@@ -45,7 +45,7 @@ let test_augment_k5 () =
   let g = Gen.complete 5 in
   let palette = Palette.full g 3 in
   let coloring = Coloring.create g ~colors:3 in
-  List.iter
+  Array.iter
     (fun e ->
       match Aug.augment_edge coloring palette ~edge:e () with
       | Some _ -> ()
@@ -104,7 +104,7 @@ let test_growth_factor () =
           let seq = Aug.short_circuit coloring seq in
           Aug.apply coloring seq
       | Aug.Stalled _ -> Alcotest.fail "stall with (1+eps) palettes")
-    (Coloring.uncolored coloring);
+    (Array.to_list (Coloring.uncolored coloring));
   Verify.exn (Verify.forest_decomposition coloring);
   Alcotest.(check (float 0.0)) "no growth violations" 0.0
     !max_growth_violation
@@ -131,7 +131,7 @@ let prop_augmentation_preserves_invariant =
                   if Verify.partial_forest_decomposition coloring <> Ok ()
                   then ok := false
               | None -> ())
-          (Coloring.uncolored coloring);
+          (Array.to_list (Coloring.uncolored coloring));
         !ok
       end)
 
@@ -148,7 +148,7 @@ let prop_sequences_satisfy_conditions =
         let colors = alpha + 1 in
         let coloring = random_partial st g colors in
         let palette = Palette.full g colors in
-        match Coloring.uncolored coloring with
+        match Array.to_list (Coloring.uncolored coloring) with
         | [] -> true
         | e :: _ -> (
             match Aug.search coloring palette ~start:e () with

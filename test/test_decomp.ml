@@ -54,9 +54,9 @@ let test_coloring_set_unset () =
     (Invalid_argument "Coloring.set: would close a cycle") (fun () ->
       Coloring.set c 3 0);
   Coloring.set c 3 1;
-  Alcotest.(check (list int)) "all colored" [] (Coloring.uncolored c);
+  Alcotest.(check (array int)) "all colored" [||] (Coloring.uncolored c);
   Coloring.unset c 3;
-  Alcotest.(check (list int)) "edge 3 uncolored" [ 3 ] (Coloring.uncolored c)
+  Alcotest.(check (array int)) "edge 3 uncolored" [| 3 |] (Coloring.uncolored c)
 
 let test_coloring_recolor_frees_old_class () =
   let g = Gen.cycle 3 in

@@ -122,7 +122,7 @@ let test_star_forest_degenerate () =
 
 let test_coloring_zero_colors () =
   let c = Coloring.create single_edge ~colors:0 in
-  Alcotest.(check (list int)) "edge uncolored" [ 0 ] (Coloring.uncolored c);
+  Alcotest.(check (array int)) "edge uncolored" [| 0 |] (Coloring.uncolored c);
   Alcotest.(check bool) "partial ok" true
     (Verify.partial_forest_decomposition c = Ok ());
   Alcotest.(check int) "colors used" 0 (Verify.colors_used c)
