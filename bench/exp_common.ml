@@ -14,6 +14,18 @@ module Verify = Nw_decomp.Verify
 let rng seed = Random.State.make [| seed; 0xbead |]
 
 (* ------------------------------------------------------------------ *)
+(* round attribution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments are attributed rounds per *domain*, not via the process-wide
+   grand total: under `--domains K` every experiment runs wholly on one
+   domain, so the delta of [Rounds.domain_total] around it counts exactly
+   the charges of that experiment, while grand-total deltas would also
+   absorb whatever the other workers charged meanwhile. *)
+let domain_rounds_baseline () = Rounds.domain_total ()
+let domain_rounds_since r0 = Rounds.domain_total () - r0
+
+(* ------------------------------------------------------------------ *)
 (* output sink                                                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -4,20 +4,32 @@
 
    Run everything:        dune exec bench/main.exe
    Run a subset:          dune exec bench/main.exe -- e5 e7 t1
+                          (or: --exp e5, repeatable)
    Skip micro-benchmarks: dune exec bench/main.exe -- --no-micro
    Also write CSV tables: dune exec bench/main.exe -- --csv results/
    Perf trajectory:       dune exec bench/main.exe -- --json
                           (one BENCH_<exp>.json per experiment: wall clock,
-                           charged rounds, connectivity-query counts)
+                           charged rounds, per-phase breakdown,
+                           connectivity-query counts)
+   Chrome trace:          dune exec bench/main.exe -- --exp e5 --trace e5.json
+                          (phase spans of every selected experiment, one
+                           trace_event lane per experiment; open in
+                           chrome://tracing or ui.perfetto.dev; a .jsonl
+                           suffix selects the JSONL event stream instead)
+   Phase summaries:       dune exec bench/main.exe -- --metrics
+                          (per-experiment span tree + counters on stdout)
    Parallel sweep:        dune exec bench/main.exe -- --domains 4
                           (independent experiments fan out across domains;
                            per-experiment output is buffered and printed in
-                           order)
+                           order; spans and round attribution stay exact
+                           because both are domain-local)
    Regression gate:       dune exec bench/main.exe -- --json --quick
                           (skips the slowest experiments and the micro
                            pass; completes in well under a minute)
 
    Schema of the JSON records: docs/benchmarking.md. *)
+
+module Obs = Nw_obs.Obs
 
 let experiments =
   [
@@ -224,21 +236,28 @@ type record = {
   bfs_runs : int;
   uf_rebuilds : int;
   failed : string option;
+  trace : Obs.trace; (* empty unless --trace/--metrics enabled recording *)
 }
 
-(* run one experiment, snapshotting the process-wide round and
-   connectivity counters around it; exceptions are captured so one broken
-   experiment cannot take down a parallel sweep *)
+(* Run one experiment inside its own Obs collection and a root span, with
+   the round delta taken from the per-domain ledger accumulator: each
+   experiment runs wholly on one domain, so both the span tree and the
+   charged-round count are exact even when `--domains K` runs other
+   experiments concurrently (the old grand-total snapshots counted their
+   charges too). Exceptions are captured so one broken experiment cannot
+   take down a parallel sweep. *)
 let run_one (name, desc, run) =
   let module C = Nw_decomp.Coloring.Counters in
   let c0 = C.snapshot () in
-  let r0 = Nw_localsim.Rounds.grand_total () in
+  let r0 = Exp_common.domain_rounds_baseline () in
   let t0 = Unix.gettimeofday () in
-  let failed =
-    try
-      run ();
-      None
-    with exn -> Some (Printexc.to_string exn)
+  let failed, trace =
+    Obs.collect (fun () ->
+        Obs.span ("exp:" ^ name) (fun () ->
+            try
+              run ();
+              None
+            with exn -> Some (Printexc.to_string exn)))
   in
   let t1 = Unix.gettimeofday () in
   let c1 = C.snapshot () in
@@ -247,11 +266,12 @@ let run_one (name, desc, run) =
     desc;
     output = "";
     wall_s = t1 -. t0;
-    charged_rounds = Nw_localsim.Rounds.grand_total () - r0;
+    charged_rounds = Exp_common.domain_rounds_since r0;
     uf_queries = c1.C.uf_queries - c0.C.uf_queries;
     bfs_runs = c1.C.bfs_runs - c0.C.bfs_runs;
     uf_rebuilds = c1.C.uf_rebuilds - c0.C.uf_rebuilds;
     failed;
+    trace;
   }
 
 (* fan the job list across [k] domains (the calling domain works too).
@@ -301,17 +321,82 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* self-description stamped into every record by the harness *)
+type env_stamp = {
+  git_commit : string option;
+  hostname : string;
+  ocaml_version : string;
+  stamped_at : float; (* unix epoch seconds *)
+}
+
+let capture_env () =
+  let git_commit =
+    try
+      let ic =
+        Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+      in
+      let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> (match line with Some "" -> None | l -> l)
+      | _ -> None
+    with _ -> None
+  in
+  {
+    git_commit;
+    hostname = (try Unix.gethostname () with _ -> "unknown");
+    ocaml_version = Sys.ocaml_version;
+    stamped_at = Unix.time ();
+  }
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+(* per-phase breakdown: self-times and self-rounds sum to the trace totals
+   (no double counting along nesting chains); rounds charged outside any
+   span land in the trailing "(unattributed)" entry *)
+let phases_json trace =
+  if Obs.is_empty trace then "null"
+  else begin
+    let b = Buffer.create 512 in
+    Buffer.add_string b "[";
+    let first = ref true in
+    let entry name calls wall_s self_s rounds =
+      Buffer.add_string b (if !first then "\n" else ",\n");
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"calls\": %d, \"wall_s\": %.6f, \
+            \"self_s\": %.6f, \"rounds\": %d }"
+           (json_escape name) calls wall_s self_s rounds)
+    in
+    List.iter
+      (fun (p : Obs.phase) ->
+        entry p.Obs.name p.Obs.calls (ns_to_s p.Obs.total_ns)
+          (ns_to_s p.Obs.self_ns) p.Obs.rounds)
+      (Obs.phases trace);
+    let orphan = Obs.unattributed_rounds trace in
+    if orphan > 0 then entry "(unattributed)" 0 0.0 0.0 orphan;
+    Buffer.add_string b "\n  ]";
+    Buffer.contents b
+  end
+
 (* one BENCH_<exp>.json per experiment — the persistent perf trajectory;
    schema documented in docs/benchmarking.md *)
-let write_json ~quick ~domains r =
+let write_json ~quick ~domains ~env r =
   let oc = open_out (Printf.sprintf "BENCH_%s.json" r.name) in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"nw-bench/1\",\n\
+    \  \"schema\": \"nw-bench/2\",\n\
     \  \"exp\": \"%s\",\n\
     \  \"desc\": \"%s\",\n\
     \  \"quick\": %b,\n\
     \  \"domains\": %d,\n\
+    \  \"env\": {\n\
+    \    \"git_commit\": %s,\n\
+    \    \"hostname\": \"%s\",\n\
+    \    \"ocaml_version\": \"%s\",\n\
+    \    \"stamped_at\": %.0f\n\
+    \  },\n\
+    \  \"rounds_attribution\": \"per-domain\",\n\
     \  \"counter_attribution\": \"%s\",\n\
     \  \"wall_s\": %.6f,\n\
     \  \"charged_rounds\": %d,\n\
@@ -320,11 +405,19 @@ let write_json ~quick ~domains r =
     \    \"bfs_runs\": %d,\n\
     \    \"uf_rebuilds\": %d\n\
     \  },\n\
+    \  \"phases\": %s,\n\
     \  \"failed\": %s\n\
      }\n"
     (json_escape r.name) (json_escape r.desc) quick domains
+    (match env.git_commit with
+    | None -> "null"
+    | Some c -> Printf.sprintf "\"%s\"" (json_escape c))
+    (json_escape env.hostname)
+    (json_escape env.ocaml_version)
+    env.stamped_at
     (if domains > 1 then "process-wide" else "exact")
     r.wall_s r.charged_rounds r.uf_queries r.bfs_runs r.uf_rebuilds
+    (phases_json r.trace)
     (match r.failed with
     | None -> "null"
     | Some msg -> Printf.sprintf "\"%s\"" (json_escape msg));
@@ -335,8 +428,11 @@ let () =
   let no_micro = List.mem "--no-micro" args in
   let json = List.mem "--json" args in
   let quick = List.mem "--quick" args in
-  (* --csv DIR / --domains K consume their argument *)
+  let metrics = List.mem "--metrics" args in
+  (* --csv DIR / --domains K / --trace FILE / --exp NAME consume their
+     argument *)
   let domains = ref 1 in
+  let trace_file = ref None in
   let rec strip acc = function
     | "--csv" :: dir :: rest ->
         Exp_common.csv_dir := Some dir;
@@ -346,14 +442,19 @@ let () =
         | Some k when k >= 1 -> domains := k
         | _ -> failwith "bench: --domains expects a positive integer");
         strip acc rest
-    | [ (("--csv" | "--domains") as flag) ] ->
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        strip acc rest
+    | "--exp" :: name :: rest -> strip (name :: acc) rest
+    | [ (("--csv" | "--domains" | "--trace" | "--exp") as flag) ] ->
         Printf.eprintf "bench: %s expects an argument\n" flag;
         exit 2
     | x :: rest -> strip (x :: acc) rest
     | [] -> List.rev acc
   in
   let args = strip [] args in
-  let flags = [ "--no-micro"; "--json"; "--quick" ] in
+  if !trace_file <> None || metrics then Obs.set_enabled true;
+  let flags = [ "--no-micro"; "--json"; "--quick"; "--metrics" ] in
   let selected = List.filter (fun a -> not (List.mem a flags)) args in
   (match
      List.filter
@@ -397,8 +498,34 @@ let () =
       | None -> ()
       | Some msg -> Printf.printf "\n!! %s FAILED: %s\n" r.name msg)
     results;
+  if metrics then
+    List.iter
+      (fun r ->
+        if not (Obs.is_empty r.trace) then begin
+          Printf.printf "\n-- metrics: %s (%s) --\n" r.name r.desc;
+          Format.printf "%a@?" Obs.pp_summary r.trace
+        end)
+      results;
+  (match !trace_file with
+  | None -> ()
+  | Some file ->
+      let traces =
+        List.filter_map
+          (fun r -> if Obs.is_empty r.trace then None else Some r.trace)
+          results
+      in
+      let oc = open_out file in
+      if Filename.check_suffix file ".jsonl" then
+        Obs.Export.jsonl_to_channel oc traces
+      else Obs.Export.chrome_to_channel oc traces;
+      close_out oc;
+      Printf.printf "\nwrote trace (%d experiment%s) to %s\n"
+        (List.length traces)
+        (if List.length traces = 1 then "" else "s")
+        file);
   if json then begin
-    List.iter (fun r -> write_json ~quick ~domains:!domains r) results;
+    let env = capture_env () in
+    List.iter (fun r -> write_json ~quick ~domains:!domains ~env r) results;
     Printf.printf "\nwrote %s\n"
       (String.concat ", "
          (List.map (fun r -> Printf.sprintf "BENCH_%s.json" r.name) results))

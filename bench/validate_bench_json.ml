@@ -1,0 +1,186 @@
+(* Schema checker for the observability artifacts:
+
+     validate_bench_json.exe BENCH_e5.json BENCH_e7.json ...
+     validate_bench_json.exe --trace e5.trace.json BENCH_e5.json
+
+   BENCH records must parse as JSON, carry a known schema tag
+   (nw-bench/1 or nw-bench/2), and have every required field of their
+   version; for nw-bench/2 records with a per-phase breakdown the
+   self-rounds summed over the phases must equal the flat
+   charged_rounds total (the invariant behind docs/benchmarking.md's
+   "phases" table). `--trace FILE` additionally validates a Chrome
+   trace_event export: a traceEvents array of named complete events
+   with numeric ts/dur. Exits nonzero on the first violation. *)
+
+module J = Nw_obs.Json_lite
+
+let failures = ref 0
+
+let fail file fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "%s: %s\n" file msg)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let require file json field =
+  match J.member field json with
+  | Some v when v <> J.Null -> Some v
+  | Some J.Null | None ->
+      fail file "missing field %S" field;
+      None
+  | Some _ -> assert false
+
+(* fields every schema version must carry, with a shape predicate *)
+let shape_string = function J.String _ -> true | _ -> false
+let shape_number = function J.Number _ -> true | _ -> false
+let shape_bool = function J.Bool _ -> true | _ -> false
+let shape_obj = function J.Obj _ -> true | _ -> false
+
+let check_field file json (field, shape) =
+  match require file json field with
+  | None -> ()
+  | Some v -> if not (shape v) then fail file "field %S has the wrong type" field
+
+let common_fields =
+  [
+    ("exp", shape_string);
+    ("desc", shape_string);
+    ("quick", shape_bool);
+    ("domains", shape_number);
+    ("wall_s", shape_number);
+    ("charged_rounds", shape_number);
+    ("connectivity", shape_obj);
+  ]
+
+let v2_fields =
+  [
+    ("env", shape_obj);
+    ("rounds_attribution", shape_string);
+    ("counter_attribution", shape_string);
+  ]
+
+let check_connectivity file json =
+  match J.member "connectivity" json with
+  | Some (J.Obj _ as conn) ->
+      List.iter
+        (fun f -> check_field file conn (f, shape_number))
+        [ "uf_queries"; "bfs_runs"; "uf_rebuilds" ]
+  | _ -> ()
+
+let check_env file json =
+  match J.member "env" json with
+  | Some (J.Obj _ as env) ->
+      List.iter
+        (check_field file env)
+        [
+          ("hostname", shape_string);
+          ("ocaml_version", shape_string);
+          ("stamped_at", shape_number);
+        ]
+      (* git_commit may be null (not a git checkout) *)
+  | _ -> ()
+
+(* nw-bench/2 invariant: phase self-rounds (including the trailing
+   "(unattributed)" bucket) sum to the flat charged_rounds total *)
+let check_phases file json =
+  match J.member "phases" json with
+  | None -> fail file "missing field \"phases\" (null when tracing is off)"
+  | Some J.Null -> ()
+  | Some (J.List phases) ->
+      let sum = ref 0 in
+      List.iter
+        (fun p ->
+          (match J.member "name" p with
+          | Some (J.String _) -> ()
+          | _ -> fail file "phase entry without a string \"name\"");
+          match Option.bind (J.member "rounds" p) J.to_int with
+          | Some r -> sum := !sum + r
+          | None -> fail file "phase entry without an integer \"rounds\"")
+        phases;
+      let total =
+        Option.bind (J.member "charged_rounds" json) J.to_int
+      in
+      (match total with
+      | Some total when total <> !sum ->
+          fail file
+            "phase rounds sum to %d but charged_rounds is %d (attribution \
+             leak)"
+            !sum total
+      | _ -> ())
+  | Some _ -> fail file "field \"phases\" must be an array or null"
+
+let check_bench file =
+  match J.parse (read_file file) with
+  | exception J.Parse_error msg -> fail file "invalid JSON: %s" msg
+  | exception Sys_error msg -> fail file "unreadable: %s" msg
+  | json -> (
+      match Option.bind (J.member "schema" json) J.to_string with
+      | Some "nw-bench/1" ->
+          List.iter (check_field file json) common_fields;
+          check_connectivity file json
+      | Some "nw-bench/2" ->
+          List.iter (check_field file json) (common_fields @ v2_fields);
+          check_connectivity file json;
+          check_env file json;
+          check_phases file json
+      | Some other -> fail file "unknown schema %S" other
+      | None -> fail file "missing schema tag")
+
+let check_trace file =
+  match J.parse (read_file file) with
+  | exception J.Parse_error msg -> fail file "invalid JSON: %s" msg
+  | exception Sys_error msg -> fail file "unreadable: %s" msg
+  | json -> (
+      match J.member "traceEvents" json with
+      | Some (J.List events) ->
+          if events = [] then fail file "empty traceEvents array";
+          List.iteri
+            (fun i ev ->
+              let str f = Option.bind (J.member f ev) J.to_string in
+              let num f = Option.bind (J.member f ev) J.to_float in
+              (match str "name" with
+              | Some "" | None -> fail file "event %d: unnamed" i
+              | Some _ -> ());
+              (match str "ph" with
+              | Some "X" -> ()
+              | _ -> fail file "event %d: phase is not a complete event" i);
+              match (num "ts", num "dur") with
+              | Some ts, Some dur when ts >= 0.0 && dur >= 0.0 -> ()
+              | _ -> fail file "event %d: ts/dur missing or negative" i)
+            events
+      | _ -> fail file "missing traceEvents array")
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse traces benches = function
+    | "--trace" :: file :: rest -> parse (file :: traces) benches rest
+    | [ "--trace" ] ->
+        prerr_endline "validate_bench_json: --trace expects a file";
+        exit 2
+    | file :: rest -> parse traces (file :: benches) rest
+    | [] -> (List.rev traces, List.rev benches)
+  in
+  let traces, benches = parse [] [] args in
+  if traces = [] && benches = [] then begin
+    prerr_endline
+      "usage: validate_bench_json [--trace TRACE.json] BENCH_*.json ...";
+    exit 2
+  end;
+  List.iter check_trace traces;
+  List.iter check_bench benches;
+  if !failures > 0 then begin
+    Printf.eprintf "validate_bench_json: %d violation%s\n" !failures
+      (if !failures = 1 then "" else "s");
+    exit 1
+  end;
+  Printf.printf "validate_bench_json: %d file%s ok\n"
+    (List.length traces + List.length benches)
+    (if List.length traces + List.length benches = 1 then "" else "s")

@@ -14,6 +14,7 @@ module Arb = Nw_graphs.Arboricity
 module Rounds = Nw_localsim.Rounds
 module Coloring = Nw_decomp.Coloring
 module Verify = Nw_decomp.Verify
+module Obs = Nw_obs.Obs
 
 open Cmdliner
 
@@ -186,7 +187,7 @@ let report_coloring ?(star = false) g coloring rounds =
   | None -> ()
   | Some r -> Format.printf "%a@." Rounds.pp r
 
-let decompose path algorithm epsilon seed alpha_opt dot save =
+let decompose path algorithm epsilon seed alpha_opt dot save trace metrics =
   let g = Io.read_edge_list path in
   let rng = Random.State.make [| seed |] in
   let alpha =
@@ -195,7 +196,10 @@ let decompose path algorithm epsilon seed alpha_opt dot save =
     | None -> fst (Nw_baseline.Gabow_westermann.arboricity g)
   in
   Format.printf "graph: %a, alpha = %d, eps = %g@." G.pp g alpha epsilon;
-  let coloring =
+  if trace <> None || metrics then Obs.set_enabled true;
+  let coloring, obs_trace =
+    Obs.collect @@ fun () ->
+    Obs.span "decompose" @@ fun () ->
     match algorithm with
     | `Exact ->
         let _, c = Nw_baseline.Gabow_westermann.arboricity g in
@@ -279,6 +283,17 @@ let decompose path algorithm epsilon seed alpha_opt dot save =
         Format.printf "%a@." Rounds.pp rounds;
         None
   in
+  if metrics && not (Obs.is_empty obs_trace) then
+    Format.printf "%a@?" Obs.pp_summary obs_trace;
+  (match trace with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      if Filename.check_suffix file ".jsonl" then
+        Obs.Export.jsonl_to_channel oc [ obs_trace ]
+      else Obs.Export.chrome_to_channel oc [ obs_trace ];
+      close_out oc;
+      Format.printf "wrote trace to %s@." file);
   (match (dot, coloring) with
   | Some dot_path, Some c ->
       let oc = open_out dot_path in
@@ -321,11 +336,27 @@ let decompose_cmd =
       & info [ "save" ] ~docv:"FILE"
           ~doc:"Save the decomposition (coloring_io format).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON of the phase spans (open in \
+             chrome://tracing or ui.perfetto.dev); a .jsonl suffix selects \
+             the JSONL event stream.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the phase-span tree, counters, and histograms.")
+  in
   Cmd.v
     (Cmd.info "decompose" ~doc:"Run a decomposition algorithm on a graph.")
     Term.(
       const decompose $ graph_pos $ algorithm $ epsilon_arg $ seed_arg $ alpha
-      $ dot $ save)
+      $ dot $ save $ trace $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)

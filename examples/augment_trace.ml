@@ -4,7 +4,14 @@
    sequence before and after short-circuiting (Prop 3.4), and the coloring
    before and after augmentation (Lemma 3.1).
 
-   Run with: dune exec examples/augment_trace.exe *)
+   The example doubles as living documentation for the lib/obs tracing
+   layer: every phase runs inside an [Obs.span], the augmentation loop
+   attaches attributes ([edge], [explored], [seq_len]) and feeds
+   histograms, and the program ends with the text summary tree that
+   `--metrics` prints in the bench harness. Pass a file name to also
+   write a Chrome trace you can open in chrome://tracing or Perfetto.
+
+   Run with: dune exec examples/augment_trace.exe [-- trace.json] *)
 
 module G = Nw_graphs.Multigraph
 module Gen = Nw_graphs.Generators
@@ -12,6 +19,7 @@ module Coloring = Nw_decomp.Coloring
 module Palette = Nw_decomp.Palette
 module Verify = Nw_decomp.Verify
 module Aug = Nw_core.Augmenting
+module Obs = Nw_obs.Obs
 
 let pp_coloring g coloring =
   G.fold_edges
@@ -31,14 +39,9 @@ let pp_sequence label seq =
       Format.printf "  step %d: edge %d takes color %d@." (i + 1) e c)
     seq
 
-let () =
-  (* K6 has arboricity 3; fill it greedily with 3 colors until stuck, then
-     augment the remaining edges *)
-  let g = Gen.complete 6 in
-  let colors = 3 in
-  let coloring = Coloring.create g ~colors in
-  let palette = Palette.full g colors in
-  (* greedy phase: first color that closes no cycle *)
+(* the greedy phase from Section 2: first color that closes no cycle *)
+let greedy_phase g coloring colors =
+  Obs.span "example.greedy_phase" @@ fun () ->
   G.fold_edges
     (fun e _ _ () ->
       let rec try_color c =
@@ -48,32 +51,78 @@ let () =
       in
       try_color 0)
     g ();
-  Format.printf "after the greedy phase (%d of %d edges colored):@."
-    (Coloring.colored_count coloring)
-    (G.m g);
-  pp_coloring g coloring;
+  (* attributes attach to the innermost open span — here, this one *)
+  Obs.set_attr "colored" (Obs.Int (Coloring.colored_count coloring))
 
-  List.iter
-    (fun e ->
-      Format.printf "@.--- augmenting uncolored edge %d ---@." e;
-      match Aug.search coloring palette ~start:e () with
-      | Aug.Stalled _ -> Format.printf "stalled (cannot happen for K6)@."
-      | Aug.Found (seq, stats) ->
-          Format.printf "explored %d edges in %d growth iterations@."
-            stats.Aug.explored stats.Aug.iterations;
-          List.iter
-            (fun (i, size) -> Format.printf "  |E_%d| = %d@." i size)
-            stats.Aug.growth;
-          pp_sequence "almost augmenting sequence (Fig 1a)" seq;
-          let seq' = Aug.short_circuit coloring seq in
-          pp_sequence "augmenting sequence after short-circuit (Prop 3.4)"
-            seq';
-          Aug.apply coloring seq';
-          Verify.exn (Verify.partial_forest_decomposition coloring);
-          Format.printf "augmentation applied; invariant verified (Fig 1b)@.")
-    (Array.to_list (Coloring.uncolored coloring));
+let augment_one coloring palette e =
+  (* a span per augmentation; [Aug.search] opens its own child span, so
+     the trace shows the search nested under this wrapper *)
+  Obs.span "example.augment" ~attrs:[ ("edge", Obs.Int e) ] @@ fun () ->
+  Format.printf "@.--- augmenting uncolored edge %d ---@." e;
+  match Aug.search coloring palette ~start:e () with
+  | Aug.Stalled _ -> Format.printf "stalled (cannot happen for K6)@."
+  | Aug.Found (seq, stats) ->
+      Format.printf "explored %d edges in %d growth iterations@."
+        stats.Aug.explored stats.Aug.iterations;
+      List.iter
+        (fun (i, size) -> Format.printf "  |E_%d| = %d@." i size)
+        stats.Aug.growth;
+      pp_sequence "almost augmenting sequence (Fig 1a)" seq;
+      let seq' = Aug.short_circuit coloring seq in
+      pp_sequence "augmenting sequence after short-circuit (Prop 3.4)" seq';
+      (* attributes recorded late still land on this span *)
+      Obs.set_attr "explored" (Obs.Int stats.Aug.explored);
+      Obs.set_attr "seq_len" (Obs.Int (List.length seq));
+      Obs.set_attr "seq_len_short_circuited" (Obs.Int (List.length seq'));
+      (* histograms summarize across all augmentations of the run *)
+      Obs.observe "example.shortcut_savings"
+        (float_of_int (List.length seq - List.length seq'));
+      Aug.apply coloring seq';
+      Verify.exn (Verify.partial_forest_decomposition coloring);
+      Format.printf "augmentation applied; invariant verified (Fig 1b)@."
 
-  Format.printf "@.final decomposition:@.";
-  pp_coloring g coloring;
-  Verify.exn (Verify.forest_decomposition coloring);
-  Format.printf "valid 3-forest decomposition of K6 (alpha = 3)@."
+let () =
+  let trace_file = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  (* one switch turns the whole instrumented pipeline on; without it
+     every span below is a plain function call *)
+  Obs.set_enabled true;
+
+  let (), trace =
+    Obs.collect @@ fun () ->
+    Obs.span "example.augment_trace" @@ fun () ->
+    (* K6 has arboricity 3; fill it greedily with 3 colors until stuck,
+       then augment the remaining edges *)
+    let g = Gen.complete 6 in
+    let colors = 3 in
+    let coloring = Coloring.create g ~colors in
+    let palette = Palette.full g colors in
+    greedy_phase g coloring colors;
+    Format.printf "after the greedy phase (%d of %d edges colored):@."
+      (Coloring.colored_count coloring)
+      (G.m g);
+    pp_coloring g coloring;
+
+    List.iter (augment_one coloring palette)
+      (Array.to_list (Coloring.uncolored coloring));
+
+    Format.printf "@.final decomposition:@.";
+    pp_coloring g coloring;
+    Verify.exn (Verify.forest_decomposition coloring);
+    Format.printf "valid 3-forest decomposition of K6 (alpha = 3)@."
+  in
+
+  (* the same summary tree `--metrics` prints in bench/main.exe *)
+  Format.printf "@.=== trace summary (Obs.pp_summary) ===@.";
+  Format.printf "%a@?" Obs.pp_summary trace;
+  match trace_file with
+  | None ->
+      Format.printf
+        "@.(pass a file name to write a Chrome trace: dune exec \
+         examples/augment_trace.exe -- trace.json)@."
+  | Some file ->
+      let oc = open_out file in
+      Obs.Export.chrome_to_channel oc [ trace ];
+      close_out oc;
+      Format.printf "@.Chrome trace written to %s (open in \
+                     chrome://tracing or https://ui.perfetto.dev)@."
+        file

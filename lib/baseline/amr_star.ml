@@ -2,6 +2,7 @@ module G = Nw_graphs.Multigraph
 module Coloring = Nw_decomp.Coloring
 
 let of_forest_decomposition coloring =
+  Nw_obs.Obs.span "baseline.amr_star" @@ fun () ->
   let g = Coloring.graph coloring in
   let n = G.n g in
   let k = Coloring.colors coloring in

@@ -2,6 +2,7 @@ module G = Nw_graphs.Multigraph
 module H = Nw_core.H_partition
 
 let decompose g ~epsilon ~alpha_star ~rng ~rounds =
+  Nw_obs.Obs.span "baseline.barenboim_elkin" @@ fun () ->
   let n = G.n g in
   let ids = Array.init n (fun v -> v) in
   for i = n - 1 downto 1 do

@@ -57,6 +57,7 @@ let witness_of_stall g coloring palette start =
   Hashtbl.fold (fun v () acc -> v :: acc) spanned []
 
 let decompose g palette =
+  Nw_obs.Obs.span "baseline.gabow_westermann" @@ fun () ->
   let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
   let scratch = Augmenting.scratch coloring in
   let edges = Coloring.uncolored coloring in

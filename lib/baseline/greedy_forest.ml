@@ -4,6 +4,7 @@ module Coloring = Nw_decomp.Coloring
 
 (* grows per-color union-find structures on demand *)
 let color_greedily g max_colors =
+  Nw_obs.Obs.span "baseline.greedy_forest" @@ fun () ->
   let n = G.n g in
   let ufs = ref [||] in
   let ensure c =

@@ -1,6 +1,7 @@
 module G = Nw_graphs.Multigraph
 module Coloring = Nw_decomp.Coloring
 module Palette = Nw_decomp.Palette
+module Obs = Nw_obs.Obs
 
 type sequence = (int * int) list
 
@@ -58,6 +59,7 @@ let search coloring palette ~start ?within ?scratch:sc () =
         sc
     | None -> scratch coloring
   in
+  Obs.span "augment.search" @@ fun () ->
   sc.stamp <- sc.stamp + 1;
   let now = sc.stamp in
   let explored = ref 0 in
@@ -227,9 +229,16 @@ let apply coloring seq =
   List.iter (fun (e, c) -> Coloring.set coloring e c) (List.rev seq)
 
 let augment_edge coloring palette ~edge ?within ?scratch () =
+  Obs.count "augment.calls";
   match search coloring palette ~start:edge ?within ?scratch () with
-  | Stalled _ -> None
+  | Stalled stats ->
+      Obs.count "augment.stalls";
+      Obs.observe "augment.explored" (float_of_int stats.explored);
+      None
   | Found (seq, stats) ->
+      Obs.observe "augment.explored" (float_of_int stats.explored);
+      Obs.observe "augment.iterations" (float_of_int stats.iterations);
       let seq = short_circuit coloring seq in
+      Obs.observe "augment.path_len" (float_of_int (List.length seq));
       apply coloring seq;
       Some stats

@@ -1,5 +1,6 @@
 module G = Nw_graphs.Multigraph
 module Net = Nw_localsim.Msg_net
+module Obs = Nw_obs.Obs
 
 type state = { color : int; parent_color : int; child_colors : int list }
 
@@ -24,6 +25,7 @@ let three_color g ~parent_edge ~ids ~rounds =
     (fun v e ->
       if e >= 0 then ignore (G.other_endpoint g e v : int))
     parent_edge;
+  Obs.span "cole_vishkin.three_color" @@ fun () ->
   let net =
     Net.create g ~rounds ~init:(fun v ->
         { color = ids.(v); parent_color = -1; child_colors = [] })

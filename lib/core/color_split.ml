@@ -1,11 +1,14 @@
 module G = Nw_graphs.Multigraph
 module Palette = Nw_decomp.Palette
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 type t = { colors : int; side : bool array array }
 
 let mpx_split g ~colors ~epsilon ~rng ~rounds =
   if epsilon <= 0.0 then invalid_arg "Color_split.mpx_split: epsilon";
+  Obs.span "color_split.mpx" ~attrs:[ ("colors", Obs.Int colors) ]
+  @@ fun () ->
   let n = G.n g in
   let side = Array.init n (fun _ -> Array.make colors false) in
   let beta = epsilon /. 10.0 in
@@ -35,6 +38,8 @@ let mpx_split g ~colors ~epsilon ~rng ~rounds =
 
 let lll_split g ~colors ~epsilon ~alpha ~rng ~rounds =
   if epsilon <= 0.0 then invalid_arg "Color_split.lll_split: epsilon";
+  Obs.span "color_split.lll" ~attrs:[ ("colors", Obs.Int colors) ]
+  @@ fun () ->
   let n = G.n g in
   let q = epsilon /. 10.0 in
   let sample st _v = Array.init colors (fun _ -> Random.State.float st 1.0 < q) in

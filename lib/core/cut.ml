@@ -2,6 +2,7 @@ module G = Nw_graphs.Multigraph
 module O = Nw_graphs.Orientation
 module Coloring = Nw_decomp.Coloring
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 type rule = Depth_mod | Diam_reduce | Sampled of float | Disabled
 
@@ -141,7 +142,15 @@ let execute_sampled t coloring ~core ~region ~removed ~orientation ~counters
   done;
   Rounds.charge t.rounds ~label:"cut/sampled" 1
 
+let rule_name = function
+  | S_disabled -> "disabled"
+  | S_depth_mod _ -> "depth-mod"
+  | S_diam_reduce _ -> "diam-reduce"
+  | S_sampled _ -> "sampled"
+
 let execute t coloring ~core ~region ~removed =
+  Obs.span "cut" ~attrs:[ ("rule", Obs.Str (rule_name t.state)) ]
+  @@ fun () ->
   match t.state with
   | S_disabled ->
       ignore coloring;

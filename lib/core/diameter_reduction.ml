@@ -3,6 +3,7 @@ module O = Nw_graphs.Orientation
 module T = Nw_graphs.Traversal
 module Coloring = Nw_decomp.Coloring
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 (* Acyclic orientation of the colored, eligible subgraph via the H-partition
    (Theorem 2.1(2)); [alpha] is the globally known arboricity bound. *)
@@ -85,6 +86,7 @@ let forest_eccentricities forest =
 
 let delete_long_paths coloring ~eligible ~epsilon ~alpha ~rng ~rounds =
   if epsilon <= 0.0 then invalid_arg "delete_long_paths: epsilon <= 0";
+  Obs.span "diam_reduction.delete_long_paths" @@ fun () ->
   let g = Coloring.graph coloring in
   let n = G.n g in
   let deleted = ref [] in
@@ -140,10 +142,12 @@ let delete_long_paths coloring ~eligible ~epsilon ~alpha ~rng ~rounds =
       femap
   done;
   Rounds.charge rounds ~label:"diam-reduction/correction" (cap + 1);
+  Obs.set_attr "deleted" (Obs.Int (List.length !deleted));
   !deleted
 
 let chop_depths coloring ~epsilon ~rng ~rounds =
   if epsilon <= 0.0 then invalid_arg "chop_depths: epsilon <= 0";
+  Obs.span "diam_reduction.chop_depths" @@ fun () ->
   let g = Coloring.graph coloring in
   let z = max 2 (int_of_float (ceil (40.0 /. epsilon))) in
   let deleted = ref [] in
@@ -179,6 +183,7 @@ let chop_depths coloring ~epsilon ~rng ~rounds =
   !deleted
 
 let reduce coloring ~target ~epsilon ~alpha ~ids ~rng ~rounds =
+  Obs.span "diameter_reduction" @@ fun () ->
   let g = Coloring.graph coloring in
   let eligible = Array.make (G.m g) true in
   let work = Coloring.copy coloring in

@@ -1,7 +1,11 @@
 module G = Nw_graphs.Multigraph
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 let star_forest_decomposition g ~epsilon ~alpha_star ~rounds =
+  Obs.span "distributed.star_forest_decomposition"
+    ~attrs:[ ("alpha_star", Obs.Int alpha_star) ]
+  @@ fun () ->
   (* stage 1: peeling, executed on the kernel *)
   let hp = H_partition.compute g ~epsilon ~alpha_star ~rounds in
   (* stage 2: every vertex learns its neighbors' layers in one round; the

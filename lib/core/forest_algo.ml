@@ -2,6 +2,7 @@ module G = Nw_graphs.Multigraph
 module Coloring = Nw_decomp.Coloring
 module Palette = Nw_decomp.Palette
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 type stats = {
   classes : int;
@@ -54,6 +55,7 @@ let default_radii ~n ~epsilon ~alpha ~max_degree ~cut =
 let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
     =
   if epsilon <= 0.0 then invalid_arg "Forest_algo: epsilon <= 0";
+  Obs.span "forest_algo" @@ fun () ->
   let r, r' = radii in
   let d = r + r' in
   let n = G.n g and m = G.m g in
@@ -69,11 +71,13 @@ let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
   let max_seq = ref 0 and max_explored = ref 0 and max_iters = ref 0 in
   let logn = int_of_float (log_ceil n) in
   for z = 0 to nd.Net_decomp.num_classes - 1 do
+    Obs.span "forest_algo.class" ~attrs:[ ("class", Obs.Int z) ] @@ fun () ->
     Array.iteri
       (fun id members ->
         if nd.Net_decomp.cluster_class.(id) = z then begin
           let core = G.ball_of_set g members r' in
           let region = G.ball_of_set g members d in
+          Obs.count "forest_algo.clusters";
           Cut.execute cut_state coloring ~core ~region ~removed;
           if Cut.is_good coloring ~core ~region then incr good_cuts
           else incr bad_cuts;
@@ -110,6 +114,10 @@ let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
     Rounds.charge rounds ~label:"forest-algo/class" (2 * d * (logn + 2))
   done;
   let leftover = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 removed in
+  Obs.set_attr "classes" (Obs.Int nd.Net_decomp.num_classes);
+  Obs.set_attr "clusters" (Obs.Int (Array.length nd.Net_decomp.clusters));
+  Obs.set_attr "leftover_edges" (Obs.Int leftover);
+  Obs.set_attr "max_path_len" (Obs.Int (!max_seq));
   let stats =
     {
       classes = nd.Net_decomp.num_classes;
@@ -127,6 +135,7 @@ let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
 
 let forest_decomposition g ~epsilon ~alpha ?(cut = Cut.Depth_mod) ?radii
     ?(diameter = `Unbounded) ~rng ~rounds () =
+  Obs.span "forest_decomposition" @@ fun () ->
   let eps' = epsilon /. 10.0 in
   let k0 =
     max 1 (int_of_float (ceil ((1.0 +. eps') *. float_of_int alpha)))
@@ -159,6 +168,7 @@ let forest_decomposition g ~epsilon ~alpha ?(cut = Cut.Depth_mod) ?radii
 
 let list_forest_decomposition g palette ~epsilon ~alpha ?(split = `Mpx)
     ?radii ~rng ~rounds () =
+  Obs.span "list_forest_decomposition" @@ fun () ->
   let colors = Palette.color_space palette in
   let split_t =
     match split with

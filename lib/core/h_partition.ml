@@ -4,6 +4,7 @@ module Net = Nw_localsim.Msg_net
 module Rounds = Nw_localsim.Rounds
 module Coloring = Nw_decomp.Coloring
 module Palette = Nw_decomp.Palette
+module Obs = Nw_obs.Obs
 
 type t = { layer : int array; num_layers : int; threshold : int }
 
@@ -12,6 +13,7 @@ type peel_state = { layer : int; live_deg : int }
 let compute g ~epsilon ~alpha_star ~rounds =
   if epsilon <= 0.0 then invalid_arg "H_partition.compute: epsilon <= 0";
   if alpha_star < 0 then invalid_arg "H_partition.compute: alpha_star < 0";
+  Obs.span "h_partition" @@ fun () ->
   let n = G.n g in
   let threshold =
     int_of_float (floor ((2.0 +. epsilon) *. float_of_int alpha_star))
@@ -63,6 +65,8 @@ let compute g ~epsilon ~alpha_star ~rounds =
     end
   in
   let num_layers = loop 0 in
+  Obs.set_attr "layers" (Obs.Int num_layers);
+  Obs.set_attr "threshold" (Obs.Int threshold);
   let layer = Array.map (fun st -> st.layer) (Net.states net) in
   { layer; num_layers; threshold }
 
@@ -102,6 +106,7 @@ let forests_of_orientation g o =
   (coloring, parent_edges)
 
 let star_forest_decomposition g o ~ids ~rounds =
+  Obs.span "h_partition.star_forests" @@ fun () ->
   let coloring, parent_edges = forests_of_orientation g o in
   let t = Coloring.colors coloring in
   (* Cole-Vishkin on each forest; in LOCAL they run concurrently, so charge

@@ -1,8 +1,11 @@
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 type 'a event = { vars : int list; violated : (int -> 'a) -> bool }
 
 let solve ?(strict = true) ~num_vars ~sample ~events ~rng ~rounds ~max_iters () =
+  Obs.span "lll.solve" ~attrs:[ ("events", Obs.Int (Array.length events)) ]
+  @@ fun () ->
   let vals = Array.init num_vars (fun v -> sample rng v) in
   Rounds.charge rounds ~label:"lll/sample" 1;
   (* events sharing a variable are neighbors in the dependency graph *)
@@ -42,6 +45,7 @@ let solve ?(strict = true) ~num_vars ~sample ~events ~rng ~rounds ~max_iters () 
           List.iter (fun v -> vals.(v) <- sample rng v) events.(i).vars)
         winners;
       Rounds.charge rounds ~label:"lll/resample" 1;
+      Obs.count "lll.resample_rounds";
       iterate (iter + 1)
     end
   in

@@ -3,8 +3,10 @@ module O = Nw_graphs.Orientation
 module Coloring = Nw_decomp.Coloring
 module Palette = Nw_decomp.Palette
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 let greedy_degeneracy g palette =
+  Obs.span "lsfd.greedy_degeneracy" @@ fun () ->
   let d, order = Nw_graphs.Degeneracy.ordering g in
   if Palette.min_size palette < 2 * d && G.m g > 0 then
     invalid_arg "Lsfd.greedy_degeneracy: palettes smaller than 2*degeneracy";
@@ -41,6 +43,8 @@ let distributed g palette ~epsilon ~alpha_star ~rng ~rounds =
   let required = int_of_float (floor ((4.0 +. epsilon) *. float_of_int alpha_star)) - 1 in
   if Palette.min_size palette < required && G.m g > 0 then
     invalid_arg "Lsfd.distributed: palettes too small";
+  Obs.span "lsfd.distributed" ~attrs:[ ("alpha_star", Obs.Int alpha_star) ]
+  @@ fun () ->
   let n = G.n g in
   let hp =
     H_partition.compute g ~epsilon:(epsilon /. 10.) ~alpha_star ~rounds

@@ -1,5 +1,6 @@
 module G = Nw_graphs.Multigraph
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 type t = {
   num_classes : int;
@@ -55,6 +56,8 @@ let complete_shortcut g ~distance =
 
 let compute g ~rng ~rounds ~distance =
   if distance < 1 then invalid_arg "Net_decomp.compute: distance < 1";
+  Obs.span "net_decomp" ~attrs:[ ("distance", Obs.Int distance) ]
+  @@ fun () ->
   let n = G.n g in
   let logn =
     let rec bits b v = if v <= 1 then b else bits (b + 1) ((v + 1) / 2) in
@@ -65,6 +68,8 @@ let compute g ~rng ~rounds ~distance =
   | Some nd ->
       (* leader election + confirmation on the complete power graph *)
       Rounds.charge rounds ~label:"net-decomp/phase" (4 * distance);
+      Obs.set_attr "classes" (Obs.Int 1);
+      Obs.set_attr "shortcut" (Obs.Bool true);
       nd
   | None ->
   let alive = Array.make n true in
@@ -153,6 +158,8 @@ let compute g ~rng ~rounds ~distance =
       (((2 * cap) + 2) * distance);
     incr z
   done;
+  Obs.set_attr "classes" (Obs.Int !z);
+  Obs.set_attr "clusters" (Obs.Int !num_clusters);
   {
     num_classes = !z;
     class_of;
@@ -223,6 +230,7 @@ module Heap = Nw_graphs.Heap
 
 let mpx g ~rng ~beta ~rounds =
   if beta <= 0.0 || beta >= 1.0 then invalid_arg "Net_decomp.mpx: beta";
+  Obs.span "net_decomp.mpx" @@ fun () ->
   let n = G.n g in
   let shift =
     Array.init n (fun _ ->

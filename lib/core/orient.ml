@@ -2,8 +2,10 @@ module G = Nw_graphs.Multigraph
 module O = Nw_graphs.Orientation
 module Coloring = Nw_decomp.Coloring
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 let of_forest_decomposition coloring ~rounds =
+  Obs.span "orient.of_forest_decomposition" @@ fun () ->
   let g = Coloring.graph coloring in
   let n = G.n g in
   let head = Array.init (G.m g) (fun e -> fst (G.endpoints g e)) in
@@ -38,6 +40,7 @@ let of_forest_decomposition coloring ~rounds =
   O.make g head
 
 let orientation g ~epsilon ~alpha ?cut ?radii ~rng ~rounds () =
+  Obs.span "orient.orientation" @@ fun () ->
   let coloring, stats =
     Forest_algo.forest_decomposition g ~epsilon ~alpha ?cut ?radii ~rng
       ~rounds ()

@@ -11,6 +11,7 @@ let of_orientation o =
   (assignment, k)
 
 let decompose g ~epsilon ~alpha ~rng ~rounds () =
+  Nw_obs.Obs.span "pseudo_forest" @@ fun () ->
   let o, _stats = Orient.orientation g ~epsilon ~alpha ~rng ~rounds () in
   let assignment, k = of_orientation o in
   (match Nw_decomp.Verify.pseudo_forest_assignment g assignment ~k with

@@ -1,5 +1,6 @@
 module G = Nw_graphs.Multigraph
 module Coloring = Nw_decomp.Coloring
+module Obs = Nw_obs.Obs
 
 let merge base extra emap =
   let g = Coloring.graph base in
@@ -34,17 +35,23 @@ let leftover_orientation base removed ~rounds =
 let append_forests base removed ~rounds =
   if not (Array.exists (fun b -> b) removed) then (base, 0)
   else begin
+    Obs.span "recolor.append_forests" @@ fun () ->
     let sub, emap, orientation = leftover_orientation base removed ~rounds in
     let forests, _ = H_partition.forests_of_orientation sub orientation in
-    merge base forests emap
+    let out, fresh = merge base forests emap in
+    Obs.set_attr "fresh_colors" (Obs.Int fresh);
+    (out, fresh)
   end
 
 let append_stars base removed ~ids ~rounds =
   if not (Array.exists (fun b -> b) removed) then (base, 0)
   else begin
+    Obs.span "recolor.append_stars" @@ fun () ->
     let sub, emap, orientation = leftover_orientation base removed ~rounds in
     let stars =
       H_partition.star_forest_decomposition sub orientation ~ids ~rounds
     in
-    merge base stars emap
+    let out, fresh = merge base stars emap in
+    Obs.set_attr "fresh_colors" (Obs.Int fresh);
+    (out, fresh)
   end

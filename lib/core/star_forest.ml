@@ -4,6 +4,7 @@ module Matching = Nw_graphs.Matching
 module Coloring = Nw_decomp.Coloring
 module Palette = Nw_decomp.Palette
 module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
 
 type stats = {
   max_deficiency : int;
@@ -78,6 +79,8 @@ let random_subset rng t k =
 
 let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
   require_simple g "Star_forest.sfd";
+  Obs.span "star_forest.sfd" ~attrs:[ ("alpha", Obs.Int alpha) ]
+  @@ fun () ->
   let t =
     max (O.max_out_degree orientation)
       (int_of_float (ceil ((1.0 +. epsilon) *. float_of_int alpha)))
@@ -125,6 +128,8 @@ let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
   let leftover_edges =
     Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 leftover
   in
+  Obs.set_attr "max_deficiency" (Obs.Int max_def);
+  Obs.set_attr "leftover_edges" (Obs.Int leftover_edges);
   ( combined,
     {
       max_deficiency = max_def;
@@ -135,6 +140,7 @@ let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
 
 let lsfd g palette ~epsilon ~orientation ~rng ~rounds =
   require_simple g "Star_forest.lsfd";
+  Obs.span "star_forest.lsfd" @@ fun () ->
   let colors = Palette.color_space palette in
   let admits e i = Palette.mem palette e i in
   let sample st _ =
@@ -183,6 +189,7 @@ let lsfd g palette ~epsilon ~orientation ~rng ~rounds =
     Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 leftover
   in
   assert (leftover_edges = 0);
+  Obs.set_attr "max_deficiency" (Obs.Int max_def);
   ( coloring,
     {
       max_deficiency = max_def;

@@ -1,4 +1,5 @@
 module G = Nw_graphs.Multigraph
+module Obs = Nw_obs.Obs
 
 (* Process-wide instrumentation of the connectivity layer. Atomic so that
    parallel bench domains can share them; the bench harness snapshots
@@ -255,7 +256,8 @@ let uf_rebuild t c =
     end
   done;
   t.uf_built.(c) <- t.uf_gen.(c);
-  Atomic.incr Counters.uf_rebuilds
+  Atomic.incr Counters.uf_rebuilds;
+  Obs.count "coloring.uf_rebuilds"
 
 let ensure_uf t c = if t.uf_built.(c) <> t.uf_gen.(c) then uf_rebuild t c
 
@@ -294,6 +296,7 @@ let reroot_under t c ~u ~v ~e =
 let uf_connected t c u v =
   ensure_uf t c;
   Atomic.incr Counters.uf_queries;
+  Obs.count "coloring.uf_queries";
   let p = t.uf_parent.(c) in
   uf_find p u = uf_find p v
 
@@ -312,6 +315,7 @@ let uf_connected t c u v =
    [via]/[pred] scratch then encodes both half-paths. *)
 let bfs_color t c src dst skip =
   Atomic.incr Counters.bfs_runs;
+  Obs.count "coloring.bfs_runs";
   (* two stamps: src side = stamp, dst side = stamp + 1 *)
   t.stamp <- t.stamp + 2;
   let s_src = t.stamp - 1 and s_dst = t.stamp in

@@ -17,6 +17,7 @@ let states t = Array.copy t.states
 
 let round t ~label ~send ~recv =
   let n = G.n t.g in
+  let before = t.delivered in
   let inbox : (int * 'msg) list array = Array.make n [] in
   for v = 0 to n - 1 do
     List.iter
@@ -30,7 +31,10 @@ let round t ~label ~send ~recv =
   for v = 0 to n - 1 do
     t.states.(v) <- recv v t.states.(v) inbox.(v)
   done;
-  Rounds.charge t.rounds ~label 1
+  Rounds.charge t.rounds ~label 1;
+  Nw_obs.Obs.count "msg_net.rounds";
+  if t.delivered > before then
+    Nw_obs.Obs.count "msg_net.messages" ~by:(t.delivered - before)
 
 let messages_delivered t = t.delivered
 

@@ -1,0 +1,205 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail "expected '%c' at offset %d, found '%c'" c st.pos c'
+  | None -> fail "expected '%c' at offset %d, found end of input" c st.pos
+
+let literal st word v =
+  let l = String.length word in
+  if
+    st.pos + l <= String.length st.src
+    && String.sub st.src st.pos l = word
+  then begin
+    st.pos <- st.pos + l;
+    v
+  end
+  else fail "invalid literal at offset %d" st.pos
+
+let parse_string_body st =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string at offset %d" st.pos
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char b '"'; advance st
+        | Some '\\' -> Buffer.add_char b '\\'; advance st
+        | Some '/' -> Buffer.add_char b '/'; advance st
+        | Some 'b' -> Buffer.add_char b '\b'; advance st
+        | Some 'f' -> Buffer.add_char b '\012'; advance st
+        | Some 'n' -> Buffer.add_char b '\n'; advance st
+        | Some 'r' -> Buffer.add_char b '\r'; advance st
+        | Some 't' -> Buffer.add_char b '\t'; advance st
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.src then
+              fail "truncated \\u escape at offset %d" st.pos;
+            let hex = String.sub st.src st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "bad \\u escape at offset %d" st.pos
+            in
+            st.pos <- st.pos + 4;
+            (* UTF-8 encode the BMP code point; surrogates pass through
+               as replacement-free bytes, which is fine for validation *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> fail "bad escape at offset %d" st.pos);
+        go ()
+    | Some c when Char.code c < 0x20 ->
+        fail "unescaped control character at offset %d" st.pos
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let consume_while pred =
+    let rec go () =
+      match peek st with
+      | Some c when pred c ->
+          advance st;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  if peek st = Some '-' then advance st;
+  consume_while (fun c -> c >= '0' && c <= '9');
+  if peek st = Some '.' then begin
+    advance st;
+    consume_while (fun c -> c >= '0' && c <= '9')
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      consume_while (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Number f
+  | None -> fail "bad number %S at offset %d" s start
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input at offset %d" st.pos
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          expect st '"';
+          let k = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}' at offset %d" st.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at offset %d" st.pos
+        in
+        List (items [])
+      end
+  | Some '"' ->
+      advance st;
+      String (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail "unexpected character '%c' at offset %d" c st.pos
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then
+    fail "trailing garbage at offset %d" st.pos;
+  v
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_string = function String s -> Some s | _ -> None
+let to_float = function Number f -> Some f | _ -> None
+
+let to_int = function
+  | Number f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,27 @@
+(** Minimal JSON reader for validating the observability artifacts
+    (Chrome traces, JSONL event streams, [BENCH_*.json] records) without
+    an external dependency. Accepts strict RFC 8259 JSON; numbers are
+    floats; object member order is preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input or trailing garbage. *)
+val parse : string -> t
+
+val member : string -> t -> t option
+
+(** Typed accessors; [None] on shape mismatch. *)
+val to_string : t -> string option
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_list : t -> t list option

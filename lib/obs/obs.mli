@@ -1,0 +1,135 @@
+(** Structured tracing and metrics for the decomposition pipeline.
+
+    Every stage of the Nash-Williams pipeline (H-partition, network
+    decomposition, augmenting search, CUT rules, recoloring, star
+    conversion, ...) wraps its work in a {!span}. Spans nest, carry a
+    monotonic-clock duration, free-form attributes ([colors_used],
+    [path_len], [cluster_diam], ...), and accumulate the LOCAL rounds
+    charged while they are the innermost active span (the [Rounds]
+    ledger calls {!record_rounds} on every charge). Counters and
+    histograms capture unordered quantities: augmenting-search steps,
+    connectivity-cache hits and rebuilds, messages crossing the
+    [Msg_net] kernel.
+
+    The subsystem is disabled by default and then costs one atomic load
+    per call and allocates nothing: instrumented hot paths stay hot.
+    When enabled, all state is {e domain-local} (per [Domain.DLS]), so
+    the bench harness fanning experiments across [--domains K] never
+    mixes two experiments' spans or rounds.
+
+    Three exporters: Chrome [trace_event] JSON (open in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}), a JSONL
+    event stream, and a text summary tree. See [docs/observability.md]. *)
+
+(** Attribute values attached to spans. *)
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+
+(** [set_enabled true] turns recording on process-wide. With recording
+    off every entry point below is a no-op (spans still run their
+    thunk). *)
+val set_enabled : bool -> unit
+
+(** {1 Recording} *)
+
+(** [span name f] runs [f ()] inside a span called [name], nested under
+    the current domain's innermost open span. Timing uses the monotonic
+    clock; an exception escaping [f] still closes the span. [?attrs]
+    seeds the span's attributes. Disabled: exactly [f ()]. *)
+val span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span (latest binding of a
+    key wins at export). No-op when disabled or outside any span. *)
+val set_attr : string -> value -> unit
+
+(** [record_rounds ~label r] attributes [r] LOCAL rounds to the
+    innermost open span (or to the trace's unattributed bucket outside
+    any span). Called by [Nw_localsim.Rounds.charge]; instrumented code
+    rarely needs it directly. *)
+val record_rounds : label:string -> int -> unit
+
+(** [count name ~by] bumps the named trace-level counter. *)
+val count : ?by:int -> string -> unit
+
+(** [observe name v] adds [v] to the named trace-level histogram
+    (power-of-two buckets; count/sum/min/max are exact). *)
+val observe : string -> float -> unit
+
+(** {1 Collection}
+
+    A {!trace} is everything one domain recorded between the start and
+    end of a {!collect}: the forest of closed spans plus counters,
+    histograms, and unattributed rounds. *)
+
+type trace
+
+(** [collect f] runs [f] against a fresh domain-local trace and returns
+    it alongside [f]'s result. Collections nest; the outer trace does
+    not see the inner one's events. With recording disabled the trace
+    comes back empty. *)
+val collect : (unit -> 'a) -> 'a * trace
+
+val is_empty : trace -> bool
+
+(** {1 Summaries} *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;  (** (upper bound, count), non-empty only *)
+}
+
+(** Aggregate of all spans sharing a name, in first-seen pre-order.
+    [self_ns] excludes child spans; [rounds] are self-rounds, so summing
+    either column over all phases (plus {!unattributed_rounds}) gives
+    the trace totals with no double counting. *)
+type phase = {
+  name : string;
+  calls : int;
+  total_ns : int64;  (** inclusive; overlaps along nesting chains *)
+  self_ns : int64;
+  rounds : int;
+  rounds_by_label : (string * int) list;
+}
+
+val phases : trace -> phase list
+
+(** Rounds recorded outside any span. *)
+val unattributed_rounds : trace -> int
+
+(** Self-rounds summed over every span plus {!unattributed_rounds}:
+    equals the ledger total charged during the collection. *)
+val total_rounds : trace -> int
+
+(** Wall time covered by root spans (children are inside their roots). *)
+val root_wall_ns : trace -> int64
+
+val counters : trace -> (string * int) list
+val histograms : trace -> (string * histogram) list
+
+(** Render the span tree (durations, per-span rounds, attributes),
+    then counters and histograms. *)
+val pp_summary : Format.formatter -> trace -> unit
+
+(** {1 Exporters} *)
+
+module Export : sig
+  (** Chrome [trace_event] JSON ([{"traceEvents": [...]}], complete
+      "X" events, microsecond timestamps, one [tid] lane per domain).
+      Span attributes, self-rounds, and per-label rounds appear under
+      each event's ["args"]. *)
+  val chrome : Buffer.t -> trace list -> unit
+
+  val chrome_to_channel : out_channel -> trace list -> unit
+
+  (** One JSON object per line: [span], [counter], and [histogram]
+      events. *)
+  val jsonl : Buffer.t -> trace list -> unit
+
+  val jsonl_to_channel : out_channel -> trace list -> unit
+end

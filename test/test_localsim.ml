@@ -45,6 +45,44 @@ let test_rounds_charge_max () =
     [ mk [ ("p", 4); ("q", 1) ]; mk [ ("p", 2); ("q", 7) ] ];
   Alcotest.(check int) "max per label" 11 (Rounds.total main)
 
+(* labels keep their first-seen order across the parallel sub-ledgers,
+   and the per-label maxima land under the right labels *)
+let test_rounds_charge_max_label_order () =
+  let main = Rounds.create () in
+  let mk charges =
+    let r = Rounds.create () in
+    List.iter (fun (l, c) -> Rounds.charge r ~label:l c) charges;
+    r
+  in
+  Rounds.charge_max main
+    [ mk [ ("b", 2); ("a", 5) ]; mk [ ("a", 9); ("c", 1) ] ];
+  Alcotest.(check (list (pair string int)))
+    "first-seen order, max per label"
+    [ ("b", 2); ("a", 9); ("c", 1) ]
+    (Rounds.ledger main)
+
+(* domain_total is a per-domain accumulator: a charge on a spawned
+   domain must show up in that domain's total only. This is the basis
+   of the bench harness's per-experiment round attribution under
+   --domains K (exp_common.domain_rounds_baseline/since). *)
+let test_rounds_domain_total () =
+  let before = Rounds.domain_total () in
+  let r = Rounds.create () in
+  Rounds.charge r ~label:"here" 3;
+  let worker =
+    Domain.spawn (fun () ->
+        let t0 = Rounds.domain_total () in
+        let r' = Rounds.create () in
+        Rounds.charge r' ~label:"there" 11;
+        Rounds.charge r' ~label:"there" 4;
+        Rounds.domain_total () - t0)
+  in
+  let worker_delta = Domain.join worker in
+  Alcotest.(check int) "spawned domain counts only its own charges" 15
+    worker_delta;
+  Alcotest.(check int) "this domain is unaffected by the worker" 3
+    (Rounds.domain_total () - before)
+
 (* one round of neighbor color exchange on a path *)
 let test_msg_net_exchange () =
   let g = Gen.path 4 in
@@ -167,6 +205,10 @@ let () =
           Alcotest.test_case "negative" `Quick test_rounds_negative_rejected;
           Alcotest.test_case "merge" `Quick test_rounds_merge;
           Alcotest.test_case "charge_max" `Quick test_rounds_charge_max;
+          Alcotest.test_case "charge_max label order" `Quick
+            test_rounds_charge_max_label_order;
+          Alcotest.test_case "per-domain total" `Quick
+            test_rounds_domain_total;
         ] );
       ( "ball_view",
         [

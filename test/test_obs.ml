@@ -1,0 +1,295 @@
+(* Tests for the lib/obs tracing layer: span nesting and phase
+   aggregation, round attribution through the Rounds hook, the
+   disabled-mode cost contract, and well-formedness of the Chrome /
+   JSONL exports (parsed back with Json_lite). *)
+
+module Obs = Nw_obs.Obs
+module J = Nw_obs.Json_lite
+module Rounds = Nw_localsim.Rounds
+
+(* recording is a process-wide switch: every test restores it so the
+   rest of the suite (and the default-off contract) is unaffected *)
+let with_enabled f =
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let phase_by_name t name =
+  List.find_opt (fun (p : Obs.phase) -> p.Obs.name = name) (Obs.phases t)
+
+(* ------------------------------------------------------------------ *)
+(* disabled mode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_passthrough () =
+  Obs.set_enabled false;
+  Alcotest.(check int) "span returns the thunk value" 42
+    (Obs.span "x" (fun () -> 41 + 1));
+  let (), t =
+    Obs.collect (fun () ->
+        Obs.span "y" (fun () -> ());
+        Obs.count "c";
+        Obs.observe "h" 1.0;
+        Obs.set_attr "k" (Obs.Int 1))
+  in
+  Alcotest.(check bool) "trace stays empty when disabled" true
+    (Obs.is_empty t)
+
+let test_disabled_no_alloc () =
+  Obs.set_enabled false;
+  let thunk () = () in
+  let v = 1.0 in
+  (* warm-up so any one-time setup is out of the measured window *)
+  for _ = 1 to 100 do
+    Obs.span "hot" thunk;
+    Obs.count "c";
+    Obs.observe "h" v
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.span "hot" thunk;
+    Obs.count "c";
+    Obs.observe "h" v
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  (* tolerance covers the boxes of Gc.minor_words itself; 10k disabled
+     probes must not allocate per call *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled probes allocate nothing (%.0f words)" dw)
+    true (dw < 256.0)
+
+(* ------------------------------------------------------------------ *)
+(* spans, nesting, phases                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_enabled @@ fun () ->
+  let (), t =
+    Obs.collect (fun () ->
+        Obs.span "a" (fun () ->
+            Obs.span "b" (fun () -> ());
+            Obs.span "b" (fun () -> Obs.span "c" (fun () -> ()))))
+  in
+  Alcotest.(check bool) "trace not empty" false (Obs.is_empty t);
+  let names = List.map (fun (p : Obs.phase) -> p.Obs.name) (Obs.phases t) in
+  Alcotest.(check (list string))
+    "phases in first-seen pre-order" [ "a"; "b"; "c" ] names;
+  let a = Option.get (phase_by_name t "a") in
+  let b = Option.get (phase_by_name t "b") in
+  Alcotest.(check int) "a called once" 1 a.Obs.calls;
+  Alcotest.(check int) "b called twice" 2 b.Obs.calls;
+  (* self time never exceeds total, and a's total covers its children *)
+  Alcotest.(check bool) "self <= total" true
+    (Int64.compare a.Obs.self_ns a.Obs.total_ns <= 0);
+  Alcotest.(check bool) "root wall = a total" true
+    (Int64.equal (Obs.root_wall_ns t) a.Obs.total_ns)
+
+let test_span_exception_closes () =
+  with_enabled @@ fun () ->
+  let res, t =
+    Obs.collect (fun () ->
+        try Obs.span "boom" (fun () -> raise Exit) with Exit -> "caught")
+  in
+  Alcotest.(check string) "exception propagates" "caught" res;
+  match phase_by_name t "boom" with
+  | Some p -> Alcotest.(check int) "span closed once" 1 p.Obs.calls
+  | None -> Alcotest.fail "span lost on exception"
+
+let test_collect_isolation () =
+  with_enabled @@ fun () ->
+  let inner_ref = ref None in
+  let (), outer =
+    Obs.collect (fun () ->
+        Obs.span "o" (fun () ->
+            let (), inner = Obs.collect (fun () -> Obs.span "i" ignore) in
+            inner_ref := Some inner))
+  in
+  let inner = Option.get !inner_ref in
+  Alcotest.(check (list string))
+    "inner trace sees only its own span" [ "i" ]
+    (List.map (fun (p : Obs.phase) -> p.Obs.name) (Obs.phases inner));
+  Alcotest.(check (list string))
+    "outer trace does not absorb the inner one" [ "o" ]
+    (List.map (fun (p : Obs.phase) -> p.Obs.name) (Obs.phases outer))
+
+(* ------------------------------------------------------------------ *)
+(* round attribution (the Rounds.charge hook)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_rounds_attribution () =
+  with_enabled @@ fun () ->
+  let r = Rounds.create () in
+  let (), t =
+    Obs.collect (fun () ->
+        Obs.span "outer" (fun () ->
+            Rounds.charge r ~label:"l1" 5;
+            Obs.span "inner" (fun () -> Rounds.charge r ~label:"l2" 7));
+        Rounds.charge r ~label:"l3" 2)
+  in
+  Alcotest.(check int) "ledger total" 14 (Rounds.total r);
+  Alcotest.(check int) "trace total matches ledger" 14 (Obs.total_rounds t);
+  Alcotest.(check int) "outside-span charge is unattributed" 2
+    (Obs.unattributed_rounds t);
+  let outer = Option.get (phase_by_name t "outer") in
+  let inner = Option.get (phase_by_name t "inner") in
+  Alcotest.(check int) "outer keeps only its self-rounds" 5 outer.Obs.rounds;
+  Alcotest.(check int) "inner rounds" 7 inner.Obs.rounds;
+  Alcotest.(check (list (pair string int)))
+    "per-label split survives" [ ("l2", 7) ]
+    inner.Obs.rounds_by_label;
+  (* the BENCH invariant: phase self-rounds + unattributed = flat total *)
+  let phase_sum =
+    List.fold_left
+      (fun acc (p : Obs.phase) -> acc + p.Obs.rounds)
+      0 (Obs.phases t)
+  in
+  Alcotest.(check int) "phases + unattributed = total" (Obs.total_rounds t)
+    (phase_sum + Obs.unattributed_rounds t)
+
+(* ------------------------------------------------------------------ *)
+(* counters and histograms                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_histograms () =
+  with_enabled @@ fun () ->
+  let (), t =
+    Obs.collect (fun () ->
+        Obs.count "c";
+        Obs.count "c" ~by:4;
+        Obs.observe "h" 1.0;
+        Obs.observe "h" 2.0;
+        Obs.observe "h" 4.0)
+  in
+  Alcotest.(check (list (pair string int)))
+    "counter sums" [ ("c", 5) ] (Obs.counters t);
+  match Obs.histograms t with
+  | [ ("h", h) ] ->
+      Alcotest.(check int) "count" 3 h.Obs.count;
+      Alcotest.(check (float 1e-9)) "sum" 7.0 h.Obs.sum;
+      Alcotest.(check (float 1e-9)) "min" 1.0 h.Obs.min;
+      Alcotest.(check (float 1e-9)) "max" 4.0 h.Obs.max;
+      Alcotest.(check int) "buckets cover every observation" 3
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 h.Obs.buckets)
+  | other ->
+      Alcotest.failf "expected one histogram, got %d" (List.length other)
+
+(* ------------------------------------------------------------------ *)
+(* exports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_trace () =
+  let r = Rounds.create () in
+  let (), t =
+    Obs.collect (fun () ->
+        Obs.span "root" ~attrs:[ ("k", Obs.Str "v") ] (fun () ->
+            Obs.span "child" (fun () -> Rounds.charge r ~label:"lbl" 3);
+            Obs.set_attr "colors_used" (Obs.Int 7));
+        Obs.count "msgs" ~by:2;
+        Obs.observe "len" 5.0)
+  in
+  t
+
+let test_chrome_export_wellformed () =
+  with_enabled @@ fun () ->
+  let t = sample_trace () in
+  let b = Buffer.create 1024 in
+  Obs.Export.chrome b [ t ];
+  let json = J.parse (Buffer.contents b) in
+  let events =
+    match Option.bind (J.member "traceEvents" json) J.to_list with
+    | Some evs -> evs
+    | None -> Alcotest.fail "missing traceEvents"
+  in
+  Alcotest.(check int) "one event per span" 2 (List.length events);
+  List.iter
+    (fun ev ->
+      (match Option.bind (J.member "ph" ev) J.to_string with
+      | Some "X" -> ()
+      | _ -> Alcotest.fail "not a complete event");
+      (match Option.bind (J.member "name" ev) J.to_string with
+      | Some ("root" | "child") -> ()
+      | _ -> Alcotest.fail "unexpected event name");
+      match
+        ( Option.bind (J.member "ts" ev) J.to_float,
+          Option.bind (J.member "dur" ev) J.to_float )
+      with
+      | Some ts, Some dur ->
+          Alcotest.(check bool) "ts/dur nonnegative" true
+            (ts >= 0.0 && dur >= 0.0)
+      | _ -> Alcotest.fail "missing ts/dur")
+    events;
+  (* attributes and rounds surface under args *)
+  let root =
+    List.find
+      (fun ev ->
+        Option.bind (J.member "name" ev) J.to_string = Some "root")
+      events
+  in
+  let args = Option.get (J.member "args" root) in
+  Alcotest.(check (option string)) "attr exported" (Some "v")
+    (Option.bind (J.member "k" args) J.to_string);
+  Alcotest.(check (option int)) "late attr exported" (Some 7)
+    (Option.bind (J.member "colors_used" args) J.to_int);
+  let child =
+    List.find
+      (fun ev ->
+        Option.bind (J.member "name" ev) J.to_string = Some "child")
+      events
+  in
+  let cargs = Option.get (J.member "args" child) in
+  Alcotest.(check (option int)) "self-rounds exported" (Some 3)
+    (Option.bind (J.member "rounds_self" cargs) J.to_int)
+
+let test_jsonl_export_wellformed () =
+  with_enabled @@ fun () ->
+  let t = sample_trace () in
+  let b = Buffer.create 1024 in
+  Obs.Export.jsonl b [ t ];
+  let lines =
+    String.split_on_char '\n' (Buffer.contents b)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check bool) "several events" true (List.length lines >= 4);
+  let kinds =
+    List.map
+      (fun line ->
+        let json = J.parse line in
+        match Option.bind (J.member "type" json) J.to_string with
+        | Some k -> k
+        | None -> Alcotest.fail "jsonl line without a type")
+      lines
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "kind %s present" k)
+        true (List.mem k kinds))
+    [ "span"; "counter"; "histogram" ]
+
+let () =
+  Alcotest.run "nw_obs"
+    [
+      ( "disabled",
+        [
+          Alcotest.test_case "passthrough" `Quick test_disabled_passthrough;
+          Alcotest.test_case "no allocation" `Quick test_disabled_no_alloc;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception" `Quick test_span_exception_closes;
+          Alcotest.test_case "collect isolation" `Quick
+            test_collect_isolation;
+        ] );
+      ( "rounds",
+        [ Alcotest.test_case "attribution" `Quick test_rounds_attribution ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters+histograms" `Quick
+            test_counters_histograms;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome" `Quick test_chrome_export_wellformed;
+          Alcotest.test_case "jsonl" `Quick test_jsonl_export_wellformed;
+        ] );
+    ]
