@@ -22,7 +22,6 @@ type t = {
   state : state;
   rng : Random.State.t;
   rounds : Nw_localsim.Rounds.t;
-  radius : int;
 }
 
 let create g rule ~epsilon ~alpha ~radius ~num_classes ~rng ~rounds =
@@ -46,7 +45,7 @@ let create g rule ~epsilon ~alpha ~radius ~num_classes ~rng ~rounds =
         in
         S_sampled { orientation; counters = Array.make (G.n g) 0; cap; p }
   in
-  { g; state; rng; rounds; radius }
+  { g; state; rng; rounds }
 
 (* an edge is eligible for removal when it lies in the region but not
    inside the core *)
@@ -58,7 +57,8 @@ let remove coloring removed e =
   Coloring.unset coloring e;
   removed.(e) <- true
 
-let execute_depth_mod t coloring ~core ~region ~removed ~n_mod =
+(* rule bodies run under [execute]'s "cut" span *)
+let[@obs.in_span] execute_depth_mod t coloring ~core ~region ~removed ~n_mod =
   let g = t.g in
   let n = G.n g in
   (* per color: BFS-root every tree of the eligible c-colored subgraph,
@@ -121,8 +121,8 @@ let execute_diam_reduce t coloring ~core ~region ~removed ~epsilon' ~alpha =
   in
   List.iter (fun e -> removed.(e) <- true) deleted
 
-let execute_sampled t coloring ~core ~region ~removed ~orientation ~counters
-    ~cap ~p =
+let[@obs.in_span] execute_sampled t coloring ~core ~region ~removed
+    ~orientation ~counters ~cap ~p =
   let g = t.g in
   for v = 0 to G.n g - 1 do
     if region.(v) && counters.(v) < cap && Random.State.float t.rng 1.0 < p

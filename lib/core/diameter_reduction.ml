@@ -1,6 +1,5 @@
 module G = Nw_graphs.Multigraph
 module O = Nw_graphs.Orientation
-module T = Nw_graphs.Traversal
 module Coloring = Nw_decomp.Coloring
 module Rounds = Nw_localsim.Rounds
 module Obs = Nw_obs.Obs

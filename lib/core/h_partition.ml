@@ -27,13 +27,13 @@ let compute g ~epsilon ~alpha_star ~rounds =
      joining at iteration [i] counts neighbors joining simultaneously, which
      matches "at most t neighbors in H_i ∪ ... ∪ H_k". *)
   let iteration i =
-    let send v st =
+    let send v (st : peel_state) =
       ignore v;
       if st.layer = -1 && st.live_deg <= threshold then
         Array.to_list (Array.map (fun (_, e) -> (e, ())) (G.incident g v))
       else []
     in
-    let recv v st msgs =
+    let recv v (st : peel_state) msgs =
       ignore v;
       let st =
         if st.layer = -1 && st.live_deg <= threshold then
@@ -67,14 +67,14 @@ let compute g ~epsilon ~alpha_star ~rounds =
   let num_layers = loop 0 in
   Obs.set_attr "layers" (Obs.Int num_layers);
   Obs.set_attr "threshold" (Obs.Int threshold);
-  let layer = Array.map (fun st -> st.layer) (Net.states net) in
+  let layer = Array.map (fun (st : peel_state) -> st.layer) (Net.states net) in
   { layer; num_layers; threshold }
 
 let normalize_ids ids =
   (* distinct ids of any magnitude -> their ranks in 0..n-1 *)
   let n = Array.length ids in
   let order = Array.init n (fun v -> v) in
-  Array.sort (fun a b -> compare ids.(a) ids.(b)) order;
+  Array.sort (fun a b -> Int.compare ids.(a) ids.(b)) order;
   let rank = Array.make n 0 in
   Array.iteri
     (fun i v ->
@@ -156,7 +156,8 @@ let star_forest_decomposition g o ~ids ~rounds =
   Rounds.charge_max rounds !sub_ledgers;
   out
 
-let list_forest_decomposition g o palette ~rounds =
+(* charges land in the caller's phase span (lsfd/list-coloring drivers) *)
+let[@obs.in_span] list_forest_decomposition g o palette ~rounds =
   let t = O.max_out_degree o in
   if Palette.min_size palette < t && G.m g > 0 then
     invalid_arg "H_partition.list_forest_decomposition: palettes too small";

@@ -18,7 +18,8 @@ let greedy_degeneracy g palette =
      colored out-edges at both endpoints yields the Theorem 2.2 invariant *)
   let edges = Array.init (G.m g) (fun e -> e) in
   Array.sort
-    (fun e1 e2 -> compare rank.(O.tail orientation e2) rank.(O.tail orientation e1))
+    (fun e1 e2 ->
+      Int.compare rank.(O.tail orientation e2) rank.(O.tail orientation e1))
     edges;
   let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
   let color_of e =

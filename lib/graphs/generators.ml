@@ -380,4 +380,4 @@ let list_palettes rng g ~colors ~size =
           end
         end
       in
-      List.sort compare (draw [] size))
+      List.sort Int.compare (draw [] size))

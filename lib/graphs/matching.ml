@@ -1,7 +1,7 @@
 type t = {
   left : int;
   right : int;
-  mutable adj : int list array; (* left node -> right neighbors *)
+  adj : int list array; (* left node -> right neighbors *)
 }
 
 let create ~left ~right =

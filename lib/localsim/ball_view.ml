@@ -12,6 +12,15 @@ type record = { owner : int; incident : (int * int * int) list }
 
 type state = (int, record) Hashtbl.t
 
+(* explicit comparators (same order as the polymorphic compare they
+   replace): canonical ball views must not depend on structural compare *)
+let compare_edge (e1, a1, b1) (e2, a2, b2) =
+  let c = Int.compare e1 e2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a1 a2 in
+    if c <> 0 then c else Int.compare b1 b2
+
 let collect g ~radius ~rounds =
   let n = G.n g in
   let init v : state =
@@ -52,7 +61,7 @@ let collect g ~radius ~rounds =
       let st = Msg_net.state net v in
       let vertices =
         Hashtbl.fold (fun owner _ acc -> owner :: acc) st []
-        |> List.sort compare
+        |> List.sort Int.compare
       in
       let known u = Hashtbl.mem st u in
       let edges = Hashtbl.create 64 in
@@ -65,12 +74,12 @@ let collect g ~radius ~rounds =
         st;
       let edges =
         Hashtbl.fold (fun e (a, b) acc -> (e, a, b) :: acc) edges []
-        |> List.sort compare
+        |> List.sort compare_edge
       in
       { center = v; vertices; edges })
 
 let reference g ~radius v =
-  let vertices = List.sort compare (G.ball g v radius) in
+  let vertices = List.sort Int.compare (G.ball g v radius) in
   let members = Array.make (G.n g) false in
   List.iter (fun u -> members.(u) <- true) vertices;
   let edges =
@@ -78,6 +87,6 @@ let reference g ~radius v =
       (fun e a b acc ->
         if members.(a) && members.(b) then (e, a, b) :: acc else acc)
       g []
-    |> List.sort compare
+    |> List.sort compare_edge
   in
   { center = v; vertices; edges }

@@ -15,7 +15,9 @@ let state t v = t.states.(v)
 let set_state t v s = t.states.(v) <- s
 let states t = Array.copy t.states
 
-let round t ~label ~send ~recv =
+(* the kernel charges one round per call on behalf of whatever phase
+   span is open in the caller (or the trace's unattributed bucket) *)
+let[@obs.in_span] round t ~label ~send ~recv =
   let n = G.n t.g in
   let before = t.delivered in
   let inbox : (int * 'msg) list array = Array.make n [] in

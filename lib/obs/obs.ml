@@ -273,7 +273,7 @@ let root_wall_ns t =
 
 let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.ctx_counters []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let histograms t =
   Hashtbl.fold
@@ -293,7 +293,7 @@ let histograms t =
         } )
       :: acc)
     t.ctx_hists []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let ms ns = Int64.to_float ns /. 1e6
 

@@ -1,0 +1,87 @@
+(* Rule catalogue and tunable denylists/allowlists. Every list here is
+   extendable from the command line (see nwlint.ml) so new graph-like
+   types or sanctioned scratch modules never require an engine change. *)
+
+type t = {
+  det2_modules : string list;
+      (* module names whose values are graph-like: applying polymorphic
+         [=]/[compare]/[Hashtbl.hash] to them is DET002 *)
+  det2_scalar_allow : string list;
+      (* accessors of the above modules that return scalars (safe to
+         compare structurally): [G.n g = 0] is fine *)
+  det2_value_deny : string list;
+      (* bare value/field names assumed graph-like (type-name
+         heuristic): [adj = adj'] is DET002 even unqualified *)
+  scratch_modules : string list;
+      (* module names sanctioned to hold top-level mutable state *)
+}
+
+let default =
+  {
+    det2_modules =
+      [ "Multigraph"; "Graphs"; "Coloring"; "Palette"; "Orientation" ];
+    det2_scalar_allow =
+      [
+        "n";
+        "m";
+        "degree";
+        "color";
+        "colors";
+        "mem";
+        "find";
+        "length";
+        "count";
+        "arboricity";
+        "max_color";
+        "other_endpoint";
+      ];
+    det2_value_deny = [ "adj"; "adjacency" ];
+    (* Scratch: per-call workspaces threaded explicitly; Counters:
+       process-wide atomic instrumentation snapshotted/deltaed by the
+       bench harness (safe under --domains K by construction) *)
+    scratch_modules = [ "Scratch"; "Counters" ];
+  }
+
+(* (id, default severity, one-line summary) — the source of truth for
+   --list-rules, suppression validation, and docs/static-analysis.md *)
+let rules =
+  [
+    ( "DET001",
+      Diagnostic.Error,
+      "no wall-clock or unseeded Random in lib/ (lib/obs monotonic clock \
+       allowlisted)" );
+    ( "DET002",
+      Diagnostic.Error,
+      "no polymorphic =/compare/Hashtbl.hash on graph, adjacency, or \
+       coloring values" );
+    ( "LEDGER001",
+      Diagnostic.Error,
+      "Rounds.charge/charge_max/merge_into must run lexically inside an \
+       Obs span or an [@obs.in_span] function" );
+    ( "IO001",
+      Diagnostic.Error,
+      "no stdout printing in lib/ (use nw_obs or return values)" );
+    ( "EXN001",
+      Diagnostic.Error,
+      "catch-all exception handler without re-raise (span exception-safety)"
+    );
+    ( "PURE001",
+      Diagnostic.Error,
+      "no top-level mutable state in lib/core or lib/decomp outside \
+       sanctioned scratch modules" );
+    ("PARSE001", Diagnostic.Error, "source file failed to parse");
+    ( "SUPP001",
+      Diagnostic.Error,
+      "nwlint:disable without a `-- justification`" );
+    ("SUPP002", Diagnostic.Warning, "unused nwlint:disable suppression");
+    ( "SUPP003",
+      Diagnostic.Error,
+      "nwlint:disable names an unknown rule id" );
+  ]
+
+let known_rule id = List.exists (fun (r, _, _) -> String.equal r id) rules
+
+(* rule ids a file-level suppression may target (the analysis rules;
+   suppression hygiene itself cannot be suppressed) *)
+let suppressible id =
+  known_rule id && not (String.length id >= 4 && String.sub id 0 4 = "SUPP")

@@ -1,0 +1,69 @@
+(* A single lint finding: position, rule id, severity, message, and an
+   actionable fix hint. Rendering (text and JSON) lives here so the
+   driver and the test suite agree on the output format. *)
+
+type severity = Warning | Error
+
+let severity_to_string = function Warning -> "warning" | Error -> "error"
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+  hint : string option;
+}
+
+let make ~file ~line ~col ~rule ~severity ~message ?hint () =
+  { file; line; col; rule; severity; message; hint }
+
+(* stable output order: file, then position, then rule id *)
+let compare_pos a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_text d =
+  let base =
+    Printf.sprintf "%s:%d:%d: [%s] %s: %s" d.file d.line d.col d.rule
+      (severity_to_string d.severity)
+      d.message
+  in
+  match d.hint with
+  | None -> base
+  | Some h -> Printf.sprintf "%s\n  hint: %s" base h
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  let hint =
+    match d.hint with
+    | None -> "null"
+    | Some h -> Printf.sprintf "\"%s\"" (json_escape h)
+  in
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\",\"hint\":%s}"
+    (json_escape d.file) d.line d.col (json_escape d.rule)
+    (severity_to_string d.severity)
+    (json_escape d.message) hint

@@ -1,0 +1,110 @@
+(* nwlint driver.
+
+     nwlint [--json] [--fail-on warning|error] [--list-rules]
+            [--deny-module M] [--allow-scalar F] [--deny-value V]
+            [--scratch M] PATH...
+
+   Paths are files or directories (searched recursively for .ml/.mli,
+   skipping dot/underscore directories such as _build). Exit status:
+   0 clean, 1 findings at or above the --fail-on threshold, 2 usage or
+   internal error (a crashed rule exits 2, so CI distinguishes "tool
+   broke" from "tool found something"). *)
+
+module D = Nwlint_core.Diagnostic
+module Config = Nwlint_core.Config
+module Engine = Nwlint_core.Engine
+
+let usage () =
+  prerr_endline
+    "usage: nwlint [--json] [--fail-on warning|error] [--list-rules]\n\
+    \              [--deny-module M] [--allow-scalar F] [--deny-value V]\n\
+    \              [--scratch M] PATH...";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (id, sev, summary) ->
+      Printf.printf "%-10s %-8s %s\n" id (D.severity_to_string sev) summary)
+    Config.rules;
+  exit 0
+
+let () =
+  let json = ref false in
+  let fail_on = ref D.Warning in
+  let paths = ref [] in
+  let config = ref Config.default in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--list-rules" :: _ -> list_rules ()
+    | "--fail-on" :: level :: rest ->
+        (match level with
+        | "warning" -> fail_on := D.Warning
+        | "error" -> fail_on := D.Error
+        | _ -> usage ());
+        parse rest
+    | "--deny-module" :: m :: rest ->
+        config := { !config with det2_modules = m :: !config.det2_modules };
+        parse rest
+    | "--allow-scalar" :: f :: rest ->
+        config :=
+          { !config with det2_scalar_allow = f :: !config.det2_scalar_allow };
+        parse rest
+    | "--deny-value" :: v :: rest ->
+        config :=
+          { !config with det2_value_deny = v :: !config.det2_value_deny };
+        parse rest
+    | "--scratch" :: m :: rest ->
+        config :=
+          { !config with scratch_modules = m :: !config.scratch_modules };
+        parse rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  let files =
+    try Engine.collect_files (List.rev !paths)
+    with Sys_error msg ->
+      Printf.eprintf "nwlint: %s\n" msg;
+      exit 2
+  in
+  if files = [] then begin
+    prerr_endline "nwlint: no .ml/.mli files found";
+    exit 2
+  end;
+  let diags =
+    try List.concat_map (Engine.lint_file ~config:!config) files
+    with exn ->
+      Printf.eprintf "nwlint: internal error: %s\n" (Printexc.to_string exn);
+      exit 2
+  in
+  let diags = List.sort D.compare_pos diags in
+  let errors =
+    List.length (List.filter (fun d -> d.D.severity = D.Error) diags)
+  in
+  let warnings = List.length diags - errors in
+  if !json then begin
+    Printf.printf
+      "{\"tool\":\"nwlint\",\"version\":1,\"files\":%d,\"errors\":%d,\"warnings\":%d,\"findings\":[%s]}\n"
+      (List.length files) errors warnings
+      (String.concat "," (List.map D.to_json diags))
+  end
+  else begin
+    List.iter (fun d -> print_endline (D.to_text d)) diags;
+    Printf.printf "nwlint: %d file%s, %d error%s, %d warning%s\n"
+      (List.length files)
+      (if List.length files = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s")
+      warnings
+      (if warnings = 1 then "" else "s")
+  end;
+  let failing =
+    match !fail_on with D.Error -> errors > 0 | D.Warning -> diags <> []
+  in
+  exit (if failing then 1 else 0)

@@ -1,0 +1,134 @@
+(* File-level suppression directives:
+
+     (* nwlint:disable DET002, LEDGER001 -- scratch harness, measured *)
+
+   A directive disables the named rules for the whole file and must
+   carry a ` -- justification`. The engine reports directives that are
+   unjustified (SUPP001), never fire (SUPP002), or name unknown rule
+   ids (SUPP003). The scanner is comment-aware: it honours nested
+   comments and skips string/char literals so a "(*" inside a string
+   never opens a directive. *)
+
+type directive = {
+  line : int;
+  rules : string list;
+  justified : bool;
+  mutable used : bool;
+}
+
+let is_rule_char c =
+  (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+(* parse the text of one comment body; returns None when the comment is
+   not a directive *)
+let parse_directive ~line body =
+  let key = "nwlint:disable" in
+  match
+    (* find the directive keyword inside the comment body *)
+    let klen = String.length key in
+    let n = String.length body in
+    let rec find i =
+      if i + klen > n then None
+      else if String.sub body i klen = key then Some (i + klen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+      let n = String.length body in
+      (* rule ids up to `--` or end of comment *)
+      let rules = ref [] in
+      let buf = Buffer.create 8 in
+      let flush () =
+        if Buffer.length buf > 0 then begin
+          rules := Buffer.contents buf :: !rules;
+          Buffer.clear buf
+        end
+      in
+      let justified = ref false in
+      let i = ref start in
+      (try
+         while !i < n do
+           let c = body.[!i] in
+           if c = '-' && !i + 1 < n && body.[!i + 1] = '-' then begin
+             (* justification = any non-blank text after the dashes *)
+             let rest = String.sub body (!i + 2) (n - !i - 2) in
+             justified := String.exists (fun c -> c <> ' ' && c <> '\t' && c <> '\n') rest;
+             raise Exit
+           end
+           else if is_rule_char c then Buffer.add_char buf c
+           else flush ();
+           incr i
+         done
+       with Exit -> ());
+      flush ();
+      let rules = List.rev !rules in
+      if rules = [] then None
+      else Some { line; rules; justified = !justified; used = false }
+
+(* scan [source] for comments, tracking line numbers and skipping
+   string and (single-quote) char literals *)
+let scan source =
+  let n = String.length source in
+  let directives = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '"' then begin
+      (* string literal: skip to unescaped closing quote *)
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        (match source.[!i] with
+        | '\\' -> incr i
+        | '"' -> fin := true
+        | c -> bump c);
+        incr i
+      done
+    end
+    else if
+      c = '\''
+      && !i + 2 < n
+      && (source.[!i + 1] <> '\\' && source.[!i + 2] = '\'')
+    then i := !i + 3 (* plain char literal like 'x' *)
+    else if c = '\'' && !i + 1 < n && source.[!i + 1] = '\\' then begin
+      (* escaped char literal: skip to closing quote *)
+      i := !i + 2;
+      while !i < n && source.[!i] <> '\'' do incr i done;
+      incr i
+    end
+    else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let body = Buffer.create 64 in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if !i + 1 < n && source.[!i] = '(' && source.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string body "(*";
+          i := !i + 2
+        end
+        else if !i + 1 < n && source.[!i] = '*' && source.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string body "*)";
+          i := !i + 2
+        end
+        else begin
+          bump source.[!i];
+          Buffer.add_char body source.[!i];
+          incr i
+        end
+      done;
+      match parse_directive ~line:start_line (Buffer.contents body) with
+      | Some d -> directives := d :: !directives
+      | None -> ()
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !directives
