@@ -26,10 +26,23 @@
    Regression gate:       dune exec bench/main.exe -- --json --quick
                           (skips the slowest experiments and the micro
                            pass; completes in well under a minute)
+   Fault injection:       dune exec bench/main.exe -- --chaos drop=0.1 \
+                            --chaos-seed 7 --exp e2
+                          (runs the selected experiments under the seeded
+                           fault plan — docs/fault-model.md — and stamps
+                           env.fault_plan into the BENCH records; an empty
+                           plan is byte-identical to no chaos flags at all)
 
    Schema of the JSON records: docs/benchmarking.md. *)
 
 module Obs = Nw_obs.Obs
+module Plan = Nw_chaos.Plan
+
+(* ambient fault context for --chaos PLAN: every experiment run is
+   wrapped in Msg_net.with_faults, so the message-passing kernels inside
+   pick the faults up; None (no flag, or an empty plan) leaves every
+   code path byte-identical to a chaos-free invocation *)
+let chaos_ctx : (Plan.t * Nw_localsim.Msg_net.faults) option ref = ref None
 
 let experiments =
   [
@@ -49,6 +62,7 @@ let experiments =
     ("e14", "Lemma 4.4 load balancing", Exp_load.run);
     ("e15", "round scaling vs n", Exp_scaling.run);
     ("e16", "message-kernel fidelity", Exp_kernel.run);
+    ("chaos", "fault injection & recovery (lib/chaos)", Exp_chaos.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -251,13 +265,32 @@ let run_one (name, desc, run) =
   let c0 = C.snapshot () in
   let r0 = Exp_common.domain_rounds_baseline () in
   let t0 = Unix.gettimeofday () in
+  let run_guarded () =
+    try
+      run ();
+      None
+    with exn -> Some (Printexc.to_string exn)
+  in
   let failed, trace =
     Obs.collect (fun () ->
         Obs.span ("exp:" ^ name) (fun () ->
-            try
-              run ();
-              None
-            with exn -> Some (Printexc.to_string exn)))
+            match !chaos_ctx with
+            | None -> run_guarded ()
+            | Some (_, faults) ->
+                let failed, stats =
+                  Nw_localsim.Msg_net.with_faults faults run_guarded
+                in
+                Exp_common.out
+                  "chaos[%s]: drops=%d dups=%d delays=%d crashes=%d \
+                   restarts=%d reorders=%d digest=%Lx\n"
+                  name stats.Nw_localsim.Msg_net.drops
+                  stats.Nw_localsim.Msg_net.dups
+                  stats.Nw_localsim.Msg_net.delays
+                  stats.Nw_localsim.Msg_net.crashes
+                  stats.Nw_localsim.Msg_net.restarts
+                  stats.Nw_localsim.Msg_net.reorders
+                  stats.Nw_localsim.Msg_net.digest;
+                failed))
   in
   let t1 = Unix.gettimeofday () in
   let c1 = C.snapshot () in
@@ -327,6 +360,9 @@ type env_stamp = {
   hostname : string;
   ocaml_version : string;
   stamped_at : float; (* unix epoch seconds *)
+  fault_plan : (string * string) option;
+      (* (digest, summary) of the active --chaos plan; absent otherwise,
+         so chaos-free records stay byte-identical *)
 }
 
 let capture_env () =
@@ -346,6 +382,10 @@ let capture_env () =
     hostname = (try Unix.gethostname () with _ -> "unknown");
     ocaml_version = Sys.ocaml_version;
     stamped_at = Unix.time ();
+    fault_plan =
+      (match !chaos_ctx with
+      | None -> None
+      | Some (plan, _) -> Some (Plan.digest plan, Plan.summary plan));
   }
 
 let ns_to_s ns = Int64.to_float ns /. 1e9
@@ -391,6 +431,7 @@ let write_json ~quick ~domains ~env r =
     \  \"quick\": %b,\n\
     \  \"domains\": %d,\n\
     \  \"env\": {\n\
+     %s\
     \    \"git_commit\": %s,\n\
     \    \"hostname\": \"%s\",\n\
     \    \"ocaml_version\": \"%s\",\n\
@@ -409,6 +450,12 @@ let write_json ~quick ~domains ~env r =
     \  \"failed\": %s\n\
      }\n"
     (json_escape r.name) (json_escape r.desc) quick domains
+    (match env.fault_plan with
+    | None -> ""
+    | Some (hash, summary) ->
+        Printf.sprintf
+          "    \"fault_plan\": { \"hash\": \"%s\", \"summary\": \"%s\" },\n"
+          (json_escape hash) (json_escape summary))
     (match env.git_commit with
     | None -> "null"
     | Some c -> Printf.sprintf "\"%s\"" (json_escape c))
@@ -433,6 +480,8 @@ let () =
      argument *)
   let domains = ref 1 in
   let trace_file = ref None in
+  let chaos_plan = ref None in
+  let chaos_seed = ref 1 in
   let rec strip acc = function
     | "--csv" :: dir :: rest ->
         Exp_common.csv_dir := Some dir;
@@ -445,14 +494,33 @@ let () =
     | "--trace" :: file :: rest ->
         trace_file := Some file;
         strip acc rest
-    | "--exp" :: name :: rest -> strip (name :: acc) rest
-    | [ (("--csv" | "--domains" | "--trace" | "--exp") as flag) ] ->
+    | "--chaos" :: plan :: rest ->
+        (match Plan.of_string plan with
+        | Ok p -> chaos_plan := Some p
+        | Error msg ->
+            Printf.eprintf "bench: --chaos: %s\n" msg;
+            exit 2);
+        strip acc rest
+    | "--chaos-seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n -> chaos_seed := n
+        | None -> failwith "bench: --chaos-seed expects an integer");
+        strip acc rest
+    | [ (("--csv" | "--domains" | "--trace" | "--exp" | "--chaos"
+        | "--chaos-seed") as flag) ] ->
         Printf.eprintf "bench: %s expects an argument\n" flag;
         exit 2
+    | "--exp" :: name :: rest -> strip (name :: acc) rest
     | x :: rest -> strip (x :: acc) rest
     | [] -> List.rev acc
   in
   let args = strip [] args in
+  (match !chaos_plan with
+  | None -> ()
+  | Some plan -> (
+      match Nw_chaos.Inject.compile plan ~seed:!chaos_seed () with
+      | None -> () (* empty plan: byte-identical to no --chaos at all *)
+      | Some faults -> chaos_ctx := Some (plan, faults)));
   if !trace_file <> None || metrics then Obs.set_enabled true;
   let flags = [ "--no-micro"; "--json"; "--quick"; "--metrics" ] in
   let selected = List.filter (fun a -> not (List.mem a flags)) args in

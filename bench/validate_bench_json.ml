@@ -84,8 +84,19 @@ let check_env file json =
           ("hostname", shape_string);
           ("ocaml_version", shape_string);
           ("stamped_at", shape_number);
-        ]
-      (* git_commit may be null (not a git checkout) *)
+        ];
+      (* git_commit may be null (not a git checkout); fault_plan is
+         optional — only stamped by runs under --chaos — but when present
+         it must be an object carrying the plan digest and its canonical
+         summary (docs/fault-model.md) *)
+      (match J.member "fault_plan" env with
+      | None -> ()
+      | Some (J.Obj _ as fp) ->
+          List.iter
+            (check_field file fp)
+            [ ("hash", shape_string); ("summary", shape_string) ]
+      | Some _ ->
+          fail file "env field \"fault_plan\" must be an object when present")
   | _ -> ()
 
 (* nw-bench/2 invariant: phase self-rounds (including the trailing

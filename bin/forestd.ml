@@ -15,6 +15,7 @@ module Rounds = Nw_localsim.Rounds
 module Coloring = Nw_decomp.Coloring
 module Verify = Nw_decomp.Verify
 module Obs = Nw_obs.Obs
+module Plan = Nw_chaos.Plan
 
 open Cmdliner
 
@@ -172,13 +173,19 @@ let algorithm_conv =
       ("pseudo", `Pseudo);
     ]
 
+(* set when report_coloring sees an invalid decomposition; under --chaos
+   this becomes a machine-readable diagnostic and a distinct exit code *)
+let verify_failure : string option ref = ref None
+
 let report_coloring ?(star = false) g coloring rounds =
   (match
      if star then Verify.star_forest_decomposition coloring
      else Verify.forest_decomposition coloring
    with
   | Ok () -> Format.printf "verified: valid decomposition@."
-  | Error msg -> Format.printf "INVALID: %s@." msg);
+  | Error msg ->
+      verify_failure := Some msg;
+      Format.printf "INVALID: %s@." msg);
   Format.printf "colors used: %d@." (Verify.colors_used coloring);
   Format.printf "max forest diameter: %d@."
     (Verify.max_forest_diameter coloring);
@@ -187,7 +194,8 @@ let report_coloring ?(star = false) g coloring rounds =
   | None -> ()
   | Some r -> Format.printf "%a@." Rounds.pp r
 
-let decompose path algorithm epsilon seed alpha_opt dot save trace metrics =
+let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
+    chaos chaos_seed =
   let g = Io.read_edge_list path in
   let rng = Random.State.make [| seed |] in
   let alpha =
@@ -197,7 +205,38 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics =
   in
   Format.printf "graph: %a, alpha = %d, eps = %g@." G.pp g alpha epsilon;
   if trace <> None || metrics then Obs.set_enabled true;
-  let coloring, obs_trace =
+  (* an empty --chaos plan compiles to None: no hooks, output identical
+     to a chaos-free invocation *)
+  let faults =
+    match chaos with
+    | None -> None
+    | Some plan ->
+        Option.map
+          (fun f -> (plan, f))
+          (Nw_chaos.Inject.compile plan ~seed:chaos_seed ())
+  in
+  let algo_name =
+    match algorithm with
+    | `Exact -> "exact"
+    | `Greedy -> "greedy"
+    | `Be -> "be"
+    | `Augment -> "augment"
+    | `Star -> "star"
+    | `Amr -> "amr-star"
+    | `Lsfd -> "lsfd"
+    | `Orientation -> "orientation"
+    | `Pseudo -> "pseudo"
+  in
+  (* under fault injection a failing run is an expected, machine-consumable
+     outcome: one JSON line on stderr, exit code 3 (distinct from
+     cmdliner's 1/2/124/125 and from the fault-free paths) *)
+  let chaos_diagnostic ~error ~detail plan =
+    Printf.eprintf
+      "{\"error\":%S,\"algorithm\":%S,\"chaos\":%S,\"chaos_seed\":%d,\"detail\":%S}\n"
+      error algo_name (Plan.to_string plan) chaos_seed detail;
+    exit 3
+  in
+  let run_collected () =
     Obs.collect @@ fun () ->
     Obs.span "decompose" @@ fun () ->
     match algorithm with
@@ -283,6 +322,26 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics =
         Format.printf "%a@." Rounds.pp rounds;
         None
   in
+  let coloring, obs_trace =
+    match faults with
+    | None -> run_collected ()
+    | Some (plan, f) ->
+        let r, stats =
+          (* a fault-killed run becomes the documented JSON diagnostic *)
+          try Nw_localsim.Msg_net.with_faults f run_collected
+          with exn ->
+            chaos_diagnostic ~error:"algorithm-raised"
+              ~detail:(Printexc.to_string exn) plan
+        in
+        Format.printf
+          "chaos: drops=%d dups=%d delays=%d crashes=%d restarts=%d \
+           reorders=%d digest=%Lx@."
+          stats.Nw_localsim.Msg_net.drops stats.Nw_localsim.Msg_net.dups
+          stats.Nw_localsim.Msg_net.delays stats.Nw_localsim.Msg_net.crashes
+          stats.Nw_localsim.Msg_net.restarts
+          stats.Nw_localsim.Msg_net.reorders stats.Nw_localsim.Msg_net.digest;
+        r
+  in
   if metrics && not (Obs.is_empty obs_trace) then
     Format.printf "%a@?" Obs.pp_summary obs_trace;
   (match trace with
@@ -301,13 +360,17 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics =
       close_out oc;
       Format.printf "wrote %s@." dot_path
   | _ -> ());
-  match (save, coloring) with
+  (match (save, coloring) with
   | Some save_path, Some c ->
       Nw_decomp.Coloring_io.write save_path c;
       Format.printf "saved decomposition to %s@." save_path
   | Some _, None ->
       Format.printf "note: this algorithm produces no coloring to save@."
-  | None, _ -> ()
+  | None, _ -> ());
+  match (faults, !verify_failure) with
+  | Some (plan, _), Some detail ->
+      chaos_diagnostic ~error:"invalid-decomposition" ~detail plan
+  | _ -> ()
 
 let decompose_cmd =
   let algorithm =
@@ -352,11 +415,38 @@ let decompose_cmd =
       & info [ "metrics" ]
           ~doc:"Print the phase-span tree, counters, and histograms.")
   in
+  let plan_conv =
+    let parse s =
+      match Plan.of_string s with Ok p -> Ok p | Error m -> Error (`Msg m)
+    in
+    let print ppf p = Format.pp_print_string ppf (Plan.to_string p) in
+    Arg.conv (parse, print)
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some plan_conv) None
+      & info [ "chaos" ] ~docv:"PLAN"
+          ~doc:
+            "Run under a deterministic fault-injection plan (see \
+             docs/fault-model.md), e.g. drop=0.1,delay=0.2:2,reorder. An \
+             empty plan is byte-identical to omitting the flag. If the \
+             faults make the result fail verification, forestd prints a \
+             one-line JSON diagnostic on stderr and exits 3.")
+  in
+  let chaos_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"N"
+          ~doc:
+            "Seed for the fault plan; the same (plan, seed) pair replays \
+             the identical fault timeline.")
+  in
   Cmd.v
     (Cmd.info "decompose" ~doc:"Run a decomposition algorithm on a graph.")
     Term.(
       const decompose $ graph_pos $ algorithm $ epsilon_arg $ seed_arg $ alpha
-      $ dot $ save $ trace $ metrics)
+      $ dot $ save $ trace $ metrics $ chaos $ chaos_seed)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)

@@ -1,0 +1,111 @@
+(* Compile a declarative Plan into the pure decision callbacks of the
+   Msg_net hook surface. Every probabilistic verdict is a pure hash of
+   (seed, clause index, round, edge, src) through the splittable Rng, so
+   the fault timeline for a given (plan, seed) pair is a function of the
+   algorithm's message pattern alone — replaying the pair replays the
+   timeline exactly.
+
+   [attenuation] scales every clause probability (retry-with-backoff
+   recovery: attempt k runs at decay^k strength) and, when < 1.0,
+   disables the *scheduled* crash/restart/flap clauses — modelling a
+   system whose crashed nodes have come back and whose fault burst is
+   subsiding, so a bounded number of retries reaches a quiet network. *)
+
+module Msg_net = Nw_localsim.Msg_net
+
+let compile plan ~seed ?(attenuation = 1.0) () =
+  if Plan.is_empty plan then None
+  else begin
+    let root = Rng.create ~seed in
+    let clauses = Array.of_list (Plan.clauses plan) in
+    let scheduled_on = Float.compare attenuation 1.0 >= 0 in
+    let att p = p *. attenuation in
+    let node_up ~round v =
+      (not scheduled_on)
+      || Array.for_all
+           (fun c ->
+             match c with
+             | Plan.Crash { node; at_round } ->
+                 not (node = v && round >= at_round)
+             | Plan.Restart { node; at_round; down_for } ->
+                 not (node = v && round >= at_round && round < at_round + down_for)
+             | _ -> true)
+           clauses
+    in
+    let state_reset ~round v =
+      scheduled_on
+      && Array.exists
+           (fun c ->
+             match c with
+             | Plan.Restart { node; at_round; down_for } ->
+                 node = v && round = at_round + down_for
+             | _ -> false)
+           clauses
+    in
+    let deliver ~round ~edge ~src ~dst =
+      ignore dst;
+      let link_down =
+        scheduled_on
+        && Array.exists
+             (fun c ->
+               match c with
+               | Plan.Flap { edge = e; up_for; down_for } ->
+                   e = edge && round mod (up_for + down_for) >= up_for
+               | _ -> false)
+             clauses
+      in
+      if link_down then Msg_net.Drop
+      else begin
+        let verdict = ref Msg_net.Deliver in
+        let decided = ref false in
+        Array.iteri
+          (fun i c ->
+            if not !decided then
+              let stream = Rng.split root i in
+              let fires p w =
+                Plan.in_window round w
+                && Rng.bool stream [ round; edge; src ] ~p:(att p)
+              in
+              match c with
+              | Plan.Drop { p; w } ->
+                  if fires p w then begin
+                    decided := true;
+                    verdict := Msg_net.Drop
+                  end
+              | Plan.Duplicate { p; copies; w } ->
+                  if fires p w then begin
+                    decided := true;
+                    verdict := Msg_net.Duplicate copies
+                  end
+              | Plan.Delay { p; max_delay; w } ->
+                  if fires p w then begin
+                    decided := true;
+                    verdict :=
+                      Msg_net.Delay
+                        (1
+                        + Rng.int stream
+                            [ round; edge; src; 1 ]
+                            ~bound:max_delay)
+                  end
+              | Plan.Crash _ | Plan.Restart _ | Plan.Flap _ | Plan.Reorder _
+                ->
+                  ())
+          clauses;
+        !verdict
+      end
+    in
+    let reorder_stream = Rng.split_key root "reorder" in
+    let reorder ~round ~dst k =
+      if k <= 1 then None
+      else if
+        Array.exists
+          (fun c ->
+            match c with
+            | Plan.Reorder { w } -> Plan.in_window round w
+            | _ -> false)
+          clauses
+      then Some (Rng.perm reorder_stream [ round; dst ] k)
+      else None
+    in
+    Some { Msg_net.node_up; state_reset; deliver; reorder }
+  end

@@ -1,0 +1,23 @@
+(** Compile a {!Plan.t} + seed into [Nw_localsim.Msg_net.faults].
+
+    The resulting callbacks are pure: every verdict is a hash of
+    [(seed, clause, round, edge, src)] through {!Rng}, so a [(plan, seed)]
+    pair determines the full fault timeline regardless of evaluation
+    order. An empty plan compiles to [None] — no hooks are installed and
+    the kernel runs its fault-free path, which is what makes the golden
+    differential ("chaos flags with an empty plan change nothing,
+    byte-for-byte") hold by construction. *)
+
+(** [compile plan ~seed ?attenuation ()] is [None] iff [plan] is empty.
+
+    [attenuation] (default [1.0]) scales every clause probability —
+    retry-with-backoff recovery runs attempt [k] at [decay^k] strength —
+    and any value [< 1.0] also disables the scheduled [crash]/[restart]/
+    [flap] clauses, modelling restarted nodes that stay up while the
+    fault burst subsides. *)
+val compile :
+  Plan.t ->
+  seed:int ->
+  ?attenuation:float ->
+  unit ->
+  Nw_localsim.Msg_net.faults option

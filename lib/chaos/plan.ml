@@ -1,0 +1,208 @@
+(* Declarative, seed-free fault plans. A plan says *what* can go wrong
+   and *when* (round windows, scheduled crash/restart times, link flap
+   duty cycles); all randomness is deferred to Inject.compile, which
+   marries the plan to a seed. Plans round-trip through a small textual
+   DSL (the `--chaos PLAN` flag of bench/main.exe and forestd):
+
+     drop=0.1            drop each message with probability 0.1
+     drop=0.1@2-9        ... only in rounds 2..9 (inclusive; `@2-` = from 2 on)
+     dup=0.05x2          with probability 0.05 deliver 2 extra copies
+     delay=0.1:3         with probability 0.1 delay by 1..3 rounds
+     crash=4@6           node 4 crashes at round 6 and stays down
+     restart=4@6+2       node 4 is down rounds 6..7, restarts (state loss) at 8
+     flap=2:3/2          edge 2 cycles 3 rounds up / 2 rounds down
+     reorder             adversarial (seeded) permutation of every inbox
+
+   Clauses are comma-separated and compose: "drop=0.1,reorder,crash=0@5". *)
+
+type window = { from_ : int; upto : int option }
+
+let forever = { from_ = 0; upto = None }
+
+type clause =
+  | Drop of { p : float; w : window }
+  | Duplicate of { p : float; copies : int; w : window }
+  | Delay of { p : float; max_delay : int; w : window }
+  | Crash of { node : int; at_round : int }
+  | Restart of { node : int; at_round : int; down_for : int }
+  | Flap of { edge : int; up_for : int; down_for : int }
+  | Reorder of { w : window }
+
+type t = { clauses : clause list }
+
+let empty = { clauses = [] }
+let is_empty t = t.clauses = []
+let clauses t = t.clauses
+let of_clauses clauses = { clauses }
+
+let in_window r { from_; upto } =
+  r >= from_ && (match upto with None -> true | Some u -> r <= u)
+
+(* ------------------------------------------------------------------ *)
+(* printing (canonical; parses back to an equal plan)                  *)
+(* ------------------------------------------------------------------ *)
+
+let window_to_string w =
+  if w.from_ = 0 && w.upto = None then ""
+  else
+    match w.upto with
+    | None -> Printf.sprintf "@%d-" w.from_
+    | Some u -> Printf.sprintf "@%d-%d" w.from_ u
+
+let clause_to_string = function
+  | Drop { p; w } -> Printf.sprintf "drop=%g%s" p (window_to_string w)
+  | Duplicate { p; copies; w } ->
+      Printf.sprintf "dup=%gx%d%s" p copies (window_to_string w)
+  | Delay { p; max_delay; w } ->
+      Printf.sprintf "delay=%g:%d%s" p max_delay (window_to_string w)
+  | Crash { node; at_round } -> Printf.sprintf "crash=%d@%d" node at_round
+  | Restart { node; at_round; down_for } ->
+      Printf.sprintf "restart=%d@%d+%d" node at_round down_for
+  | Flap { edge; up_for; down_for } ->
+      Printf.sprintf "flap=%d:%d/%d" edge up_for down_for
+  | Reorder { w } -> "reorder" ^ window_to_string w
+
+let to_string t = String.concat "," (List.map clause_to_string t.clauses)
+let summary = to_string
+
+let equal a b = String.equal (to_string a) (to_string b)
+
+(* stable FNV-1a fingerprint of the canonical form; stamped into the
+   BENCH env.fault_plan field so trajectories name the plan they ran *)
+let digest t =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    (to_string t);
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let int_of s ~what =
+  match int_of_string_opt (String.trim s) with
+  | Some i when i >= 0 -> i
+  | _ -> bad "%s expects a non-negative integer, got %S" what s
+
+let prob_of s ~what =
+  match float_of_string_opt (String.trim s) with
+  | Some p when Float.compare p 0.0 >= 0 && Float.compare p 1.0 <= 0 -> p
+  | _ -> bad "%s expects a probability in [0,1], got %S" what s
+
+(* "0.1@2-9" -> ("0.1", {from_=2; upto=Some 9}) *)
+let split_window s ~what =
+  match String.index_opt s '@' with
+  | None -> (s, forever)
+  | Some i ->
+      let body = String.sub s 0 i in
+      let wspec = String.sub s (i + 1) (String.length s - i - 1) in
+      let w =
+        match String.index_opt wspec '-' with
+        | None -> bad "%s window %S: expected A- or A-B" what wspec
+        | Some j ->
+            let a = int_of (String.sub wspec 0 j) ~what in
+            let rest = String.sub wspec (j + 1) (String.length wspec - j - 1) in
+            if String.trim rest = "" then { from_ = a; upto = None }
+            else
+              let b = int_of rest ~what in
+              if b < a then bad "%s window %S: end before start" what wspec;
+              { from_ = a; upto = Some b }
+      in
+      (body, w)
+
+(* split "A<sep>B" into (A, Some B), or (s, None) when sep is absent *)
+let split_once s sep =
+  match String.index_opt s sep with
+  | None -> (s, None)
+  | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_clause s =
+  let key, value = split_once s '=' in
+  let key = String.trim key in
+  match (key, value) with
+  | "reorder", None -> Reorder { w = forever }
+  | "reorder", Some _ -> bad "reorder takes no value (window: reorder@A-B)"
+  | _, None when String.length key >= 7
+                 && String.equal (String.sub key 0 7) "reorder" ->
+      let _, w = split_window key ~what:"reorder" in
+      Reorder { w }
+  | "drop", Some v ->
+      let body, w = split_window v ~what:"drop" in
+      Drop { p = prob_of body ~what:"drop"; w }
+  | "dup", Some v ->
+      let body, w = split_window v ~what:"dup" in
+      let pstr, copies =
+        match split_once body 'x' with
+        | p, None -> (p, 1)
+        | p, Some k ->
+            let k = int_of k ~what:"dup copies" in
+            if k < 1 then bad "dup copies must be >= 1";
+            (p, k)
+      in
+      Duplicate { p = prob_of pstr ~what:"dup"; copies; w }
+  | "delay", Some v ->
+      let body, w = split_window v ~what:"delay" in
+      let pstr, max_delay =
+        match split_once body ':' with
+        | p, None -> (p, 1)
+        | p, Some d ->
+            let d = int_of d ~what:"delay bound" in
+            if d < 1 then bad "delay bound must be >= 1";
+            (p, d)
+      in
+      Delay { p = prob_of pstr ~what:"delay"; max_delay; w }
+  | "crash", Some v -> (
+      match split_once v '@' with
+      | node, Some r ->
+          Crash
+            {
+              node = int_of node ~what:"crash node";
+              at_round = int_of r ~what:"crash round";
+            }
+      | _, None -> bad "crash expects crash=NODE@ROUND, got %S" s)
+  | "restart", Some v -> (
+      match split_once v '@' with
+      | node, Some spec -> (
+          match split_once spec '+' with
+          | r, Some d ->
+              let down_for = int_of d ~what:"restart downtime" in
+              if down_for < 1 then bad "restart downtime must be >= 1";
+              Restart
+                {
+                  node = int_of node ~what:"restart node";
+                  at_round = int_of r ~what:"restart round";
+                  down_for;
+                }
+          | _, None -> bad "restart expects restart=NODE@ROUND+DOWN, got %S" s)
+      | _, None -> bad "restart expects restart=NODE@ROUND+DOWN, got %S" s)
+  | "flap", Some v -> (
+      match split_once v ':' with
+      | edge, Some duty -> (
+          match split_once duty '/' with
+          | u, Some d ->
+              let up_for = int_of u ~what:"flap up-rounds" in
+              let down_for = int_of d ~what:"flap down-rounds" in
+              if up_for < 1 || down_for < 1 then
+                bad "flap duty cycle rounds must be >= 1";
+              Flap { edge = int_of edge ~what:"flap edge"; up_for; down_for }
+          | _, None -> bad "flap expects flap=EDGE:UP/DOWN, got %S" s)
+      | _, None -> bad "flap expects flap=EDGE:UP/DOWN, got %S" s)
+  | _ -> bad "unknown fault clause %S" s
+
+let of_string s =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> not (String.equal p ""))
+  in
+  match List.map parse_clause parts with
+  | clauses -> Ok { clauses }
+  | exception Bad msg -> Error (Printf.sprintf "chaos plan: %s" msg)

@@ -1,0 +1,58 @@
+(** Declarative, seed-free fault plans.
+
+    A plan is an ordered list of fault clauses — message drop / duplicate /
+    delay with probabilities and round windows, scheduled node crash and
+    crash-restart-with-state-loss, deterministic link flaps, and the
+    adversarial (seeded) delivery-order scheduler. Plans carry {e no}
+    randomness themselves: {!Inject.compile} marries a plan to a seed and
+    produces the pure decision callbacks [Nw_localsim.Msg_net.faults]
+    consumes. The textual DSL (see [docs/fault-model.md]) is what the
+    [--chaos PLAN] flags of [bench/main.exe] and [forestd] parse:
+
+    {v
+    drop=0.1         dup=0.05x2       delay=0.1:3      reorder
+    drop=0.1@2-9     crash=4@6        restart=4@6+2    flap=2:3/2
+    v}
+
+    Clauses are comma-separated and compose. *)
+
+(** Inclusive round window; [upto = None] means "forever". *)
+type window = { from_ : int; upto : int option }
+
+(** Rounds 0 onward. *)
+val forever : window
+
+type clause =
+  | Drop of { p : float; w : window }
+  | Duplicate of { p : float; copies : int; w : window }
+  | Delay of { p : float; max_delay : int; w : window }
+  | Crash of { node : int; at_round : int }
+  | Restart of { node : int; at_round : int; down_for : int }
+  | Flap of { edge : int; up_for : int; down_for : int }
+  | Reorder of { w : window }
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val clauses : t -> clause list
+val of_clauses : clause list -> t
+
+(** [in_window r w]: does round [r] fall inside [w]? *)
+val in_window : int -> window -> bool
+
+(** Parse the DSL. [Error] carries a human-readable reason. *)
+val of_string : string -> (t, string) result
+
+(** Canonical form; [of_string (to_string t)] yields an {!equal} plan. *)
+val to_string : t -> string
+
+(** Alias of {!to_string}; the human-readable half of the BENCH
+    [env.fault_plan] stamp. *)
+val summary : t -> string
+
+(** Stable 16-hex-digit fingerprint of the canonical form (FNV-1a); the
+    [hash] half of the BENCH [env.fault_plan] stamp. *)
+val digest : t -> string
+
+val equal : t -> t -> bool

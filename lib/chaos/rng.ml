@@ -1,0 +1,62 @@
+(* Splittable, seed-threaded, *stateless* randomness: a stream is just a
+   64-bit key, and every draw is a pure function of (key, coordinates).
+   Fault decisions keyed on (round, edge, src) therefore do not depend on
+   how many other decisions were made before them — the property behind
+   deterministic fault-timeline replay. The mixer is SplitMix64. *)
+
+type t = int64
+
+let golden = 0x9e3779b97f4a7c15L
+
+let mix z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = mix (Int64.add (Int64.of_int seed) golden)
+
+let split t i = mix (Int64.logxor t (mix (Int64.add (Int64.of_int i) golden)))
+
+let split_key t key =
+  (* FNV-1a over the key bytes, folded into the stream *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    key;
+  mix (Int64.logxor t !h)
+
+let bits t coords =
+  mix (List.fold_left (fun acc c -> mix (Int64.logxor acc (Int64.add (Int64.of_int c) golden))) t coords)
+
+let float t coords =
+  (* top 53 bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical (bits t coords) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+let int t coords ~bound =
+  if bound <= 0 then invalid_arg "Chaos.Rng.int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits t coords) 1) (Int64.of_int bound))
+
+let bool t coords ~p = Float.compare (float t coords) p < 0
+
+let perm t coords k =
+  let a = Array.init k (fun i -> i) in
+  for i = k - 1 downto 1 do
+    let j = int t (i :: coords) ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let to_seed t = Int64.to_int (Int64.shift_right_logical t 1)

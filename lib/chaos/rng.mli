@@ -1,0 +1,40 @@
+(** Splittable, seed-threaded, stateless randomness for fault plans.
+
+    A stream is an immutable 64-bit key; every draw is a pure function of
+    the stream and the caller-supplied integer coordinates (round, edge,
+    vertex, clause index, ...). Because no draw consumes hidden state,
+    decisions are independent of evaluation order and count — the same
+    [(plan, seed)] pair always produces the same fault timeline, no matter
+    what the algorithm under test does. This is the {e only} sanctioned
+    randomness source inside [lib/] besides explicitly seeded
+    [Random.State] values threaded from experiment configs (nwlint rule
+    DET001 enforces this). SplitMix64 mixing. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t i] derives an independent child stream (per clause, per
+    epoch, per attempt...). *)
+val split : t -> int -> t
+
+(** [split_key t key] derives a child stream from a string key. *)
+val split_key : t -> string -> t
+
+(** [float t coords] is a uniform draw in [\[0, 1)] determined purely by
+    [(t, coords)]. *)
+val float : t -> int list -> float
+
+(** [int t coords ~bound] is a uniform draw in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int list -> bound:int -> int
+
+(** [bool t coords ~p] is a Bernoulli draw: [true] with probability [p]. *)
+val bool : t -> int list -> p:float -> bool
+
+(** [perm t coords k] is a seeded permutation of [0..k-1] (Fisher–Yates
+    driven by pure draws). *)
+val perm : t -> int list -> int -> int array
+
+(** Collapse a stream to an integer seed (for deriving per-epoch seeds). *)
+val to_seed : t -> int

@@ -7,12 +7,75 @@
 
     The simpler algorithms (H-partition peeling, Cole–Vishkin coloring) are
     implemented directly on this kernel, demonstrating that they are honest
-    distributed algorithms; the round counts it reports are exact. *)
+    distributed algorithms; the round counts it reports are exact.
+
+    {2 Fault injection}
+
+    The kernel exposes a {e mechanism-only} hook surface for deterministic
+    fault injection: a {!faults} record of pure decision callbacks (node
+    liveness, per-message delivery verdicts, inbox reordering) installed for
+    the dynamic extent of {!with_faults}. Fault {e policy} — declarative
+    seed-driven plans, the adversarial scheduler, outcome classification and
+    recovery — lives in the [nw_chaos] library ([lib/chaos]), which compiles
+    a [Chaos.Plan.t] down to a {!faults} record; see [docs/fault-model.md].
+    A net created outside {!with_faults} (or with no fault ever firing)
+    takes a code path byte-identical to the fault-free kernel. *)
+
+(** Verdict for one message crossing its edge. [Duplicate k] delivers
+    [1 + k] copies this round; [Delay d] with [d > 0] delivers the single
+    copy [d] rounds later (to whatever the destination's state is then). *)
+type delivery = Deliver | Drop | Duplicate of int | Delay of int
+
+(** Pure fault-decision callbacks. Determinism of the fault timeline
+    requires each to be a pure function of its arguments (the chaos
+    compiler guarantees this by hashing [(round, edge, src, ...)] through
+    a splittable seeded RNG).
+
+    - [node_up ~round v]: is [v] alive in [round]? A down node sends
+      nothing, receives nothing (messages to it are lost), and does not
+      update state.
+    - [state_reset ~round v]: does [v] restart with state loss at the
+      start of [round]? The node is re-initialised from the net's [init].
+    - [deliver ~round ~edge ~src ~dst]: verdict for one message.
+    - [reorder ~round ~dst k]: an optional permutation of [0..k-1]
+      applied to the [k]-message inbox of [dst] before [recv] sees it
+      (the adversarial delivery-order scheduler). *)
+type faults = {
+  node_up : round:int -> int -> bool;
+  state_reset : round:int -> int -> bool;
+  deliver : round:int -> edge:int -> src:int -> dst:int -> delivery;
+  reorder : round:int -> dst:int -> int -> int array option;
+}
+
+(** Everyone up, every message delivered once, no reordering. *)
+val no_faults : faults
+
+(** Event counts and a timeline digest, shared by every net created under
+    one {!with_faults} extent. [digest] folds each fault event (kind,
+    round, subject) in order through a SplitMix64 mix, so equal digests
+    across two runs certify identical fault timelines. *)
+type fault_stats = {
+  mutable drops : int;  (** dropped, including messages to down nodes *)
+  mutable dups : int;  (** extra copies delivered *)
+  mutable delays : int;  (** messages postponed to a later round *)
+  mutable crashes : int;  (** up -> down transitions *)
+  mutable restarts : int;  (** state-loss resets *)
+  mutable reorders : int;  (** inboxes permuted *)
+  mutable digest : int64;  (** order-sensitive timeline fingerprint *)
+}
+
+(** [with_faults f thunk] installs [f] as the ambient (domain-local) fault
+    context, runs [thunk], restores the previous context (also on
+    exception), and returns the thunk's result with the stats accumulated
+    by every net created inside. Nests; the inner context wins. *)
+val with_faults : faults -> (unit -> 'a) -> 'a * fault_stats
 
 type ('state, 'msg) t
 
 (** [create g ~rounds ~init] builds a network over [g]; vertex [v] starts in
-    state [init v]. Rounds executed here are charged to [rounds]. *)
+    state [init v]. Rounds executed here are charged to [rounds]. If an
+    ambient fault context is installed (see {!with_faults}), the net runs
+    under it; otherwise it is exactly the fault-free kernel. *)
 val create :
   Nw_graphs.Multigraph.t ->
   rounds:Rounds.t ->
@@ -24,6 +87,10 @@ val graph : ('state, 'msg) t -> Nw_graphs.Multigraph.t
 val state : ('state, 'msg) t -> int -> 'state
 val set_state : ('state, 'msg) t -> int -> 'state -> unit
 val states : ('state, 'msg) t -> 'state array
+
+(** The stats record of the ambient fault context this net was created
+    under, or [None] for a fault-free net. *)
+val fault_stats : ('state, 'msg) t -> fault_stats option
 
 (** [round t ~label ~send ~recv] executes one synchronous round.
     [send v st] returns messages as [(edge_id, msg)] pairs; each is delivered
@@ -39,6 +106,10 @@ val round :
 
 (** Total messages delivered since creation. *)
 val messages_delivered : ('state, 'msg) t -> int
+
+(** Rounds executed on this net since creation (the fault clock: windows
+    and crash schedules in fault plans are phrased in this counter). *)
+val rounds_executed : ('state, 'msg) t -> int
 
 (** [run_until t ~label ~send ~recv ~halted ~max_rounds] repeats {!round}
     until every vertex satisfies [halted] or [max_rounds] elapse; returns the

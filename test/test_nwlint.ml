@@ -50,6 +50,25 @@ let det1 =
       check_silent "DET001"
         "(* nwlint:disable DET001 -- fixture justification *)\n\
          let x = Random.int 5" );
+    (* the sanctioned randomness source: paths through a module named Rng
+       must resolve to Nw_chaos.Rng (seed-threaded, splittable) *)
+    ( "positive: ad-hoc local Rng module",
+      check_fires "DET001"
+        "module Rng = struct let next s = (s * 25214903917 + 11)\n\
+        \  land 0xffffffff end\n\
+         let draw s = Rng.next s" );
+    ( "positive: qualified ad-hoc Rng",
+      check_fires "DET001" "let draw s = My_util.Rng.next s" );
+    ( "negative: Rng aliased to Nw_chaos.Rng",
+      check_clean
+        "module Rng = Nw_chaos.Rng\n\
+         let draw t = Rng.bits t [ 1; 2 ]" );
+    ( "negative: fully qualified Nw_chaos.Rng",
+      check_clean "let draw t = Nw_chaos.Rng.float t [ 0 ]" );
+    ( "negative: lib/chaos hosts the source itself",
+      check_clean ~path:"lib/chaos/fixture.ml" "let draw s = Rng.mix s" );
+    ( "negative: Rng use outside lib/",
+      check_clean ~path:"bench/fixture.ml" "let draw s = My_util.Rng.next s" );
   ]
 
 (* --- DET002 ------------------------------------------------------- *)

@@ -14,6 +14,13 @@ type t = {
          heuristic): [adj = adj'] is DET002 even unqualified *)
   scratch_modules : string list;
       (* module names sanctioned to hold top-level mutable state *)
+  det1_rng_allow : string list;
+      (* dotted module prefixes sanctioned as randomness sources: paths
+         through a module named [Rng] in lib/ are DET001 (hand-rolled
+         generator) unless their alias-expanded form starts with one of
+         these. The splittable, seed-threaded [Nw_chaos.Rng] is the
+         blessed source (every draw a pure function of seed +
+         coordinates, so fault timelines replay). *)
 }
 
 let default =
@@ -40,6 +47,7 @@ let default =
        process-wide atomic instrumentation snapshotted/deltaed by the
        bench harness (safe under --domains K by construction) *)
     scratch_modules = [ "Scratch"; "Counters" ];
+    det1_rng_allow = [ "Nw_chaos.Rng"; "Chaos.Rng" ];
   }
 
 (* (id, default severity, one-line summary) — the source of truth for
@@ -48,7 +56,8 @@ let rules =
   [
     ( "DET001",
       Diagnostic.Error,
-      "no wall-clock or unseeded Random in lib/ (lib/obs monotonic clock \
+      "no wall-clock, unseeded Random, or ad-hoc Rng modules in lib/ \
+       (lib/obs monotonic clock and the seed-threaded Nw_chaos.Rng \
        allowlisted)" );
     ( "DET002",
       Diagnostic.Error,

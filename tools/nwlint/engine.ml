@@ -26,6 +26,7 @@ open Ppxlib
 type scope = {
   in_lib : bool;
   in_lib_obs : bool;
+  in_lib_chaos : bool;  (* lib/chaos hosts the sanctioned Rng itself *)
   in_pure_dirs : bool;  (* lib/core or lib/decomp *)
 }
 
@@ -48,10 +49,17 @@ let scope_of_path path =
       {
         in_lib = true;
         in_lib_obs = (match rest with "obs" :: _ -> true | _ -> false);
+        in_lib_chaos = (match rest with "chaos" :: _ -> true | _ -> false);
         in_pure_dirs =
           (match rest with ("core" | "decomp") :: _ -> true | _ -> false);
       }
-  | _ -> { in_lib = false; in_lib_obs = false; in_pure_dirs = false }
+  | _ ->
+      {
+        in_lib = false;
+        in_lib_obs = false;
+        in_lib_chaos = false;
+        in_pure_dirs = false;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* longident utilities                                                 *)
@@ -137,7 +145,33 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
               (Some
                  "thread a seeded Random.State.t from the experiment \
                   config instead")
-        | _ -> ()
+        | _ ->
+            (* paths through a module named Rng are hand-rolled
+               generators unless they resolve to a sanctioned source
+               (config.det1_rng_allow; lib/chaos hosts that source, so
+               its own unqualified Rng is exempt) *)
+            let modpath =
+              match List.rev segs with [] -> [] | _ :: m -> List.rev m
+            in
+            let has_prefix p =
+              let d = dotted segs in
+              let lp = String.length p in
+              String.length d > lp
+              && String.equal (String.sub d 0 lp) p
+              && d.[lp] = '.'
+            in
+            if
+              List.mem "Rng" modpath
+              && (not scope.in_lib_chaos)
+              && not (List.exists has_prefix config.det1_rng_allow)
+            then
+              add ~loc "DET001" Error
+                (Printf.sprintf "ad-hoc RNG module in `%s` in lib/"
+                   (dotted segs))
+                (Some
+                   "randomness in lib/ flows through the seed-threaded \
+                    splittable Nw_chaos.Rng (alias it: module Rng = \
+                    Nw_chaos.Rng) or an explicitly seeded Random.State.t")
   in
 
   (* --- DET002 -------------------------------------------------- *)

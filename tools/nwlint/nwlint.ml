@@ -2,7 +2,7 @@
 
      nwlint [--json] [--fail-on warning|error] [--list-rules]
             [--deny-module M] [--allow-scalar F] [--deny-value V]
-            [--scratch M] PATH...
+            [--scratch M] [--allow-rng PREFIX] PATH...
 
    Paths are files or directories (searched recursively for .ml/.mli,
    skipping dot/underscore directories such as _build). Exit status:
@@ -18,7 +18,7 @@ let usage () =
   prerr_endline
     "usage: nwlint [--json] [--fail-on warning|error] [--list-rules]\n\
     \              [--deny-module M] [--allow-scalar F] [--deny-value V]\n\
-    \              [--scratch M] PATH...";
+    \              [--scratch M] [--allow-rng PREFIX] PATH...";
   exit 2
 
 let list_rules () =
@@ -59,6 +59,10 @@ let () =
     | "--scratch" :: m :: rest ->
         config :=
           { !config with scratch_modules = m :: !config.scratch_modules };
+        parse rest
+    | "--allow-rng" :: p :: rest ->
+        config :=
+          { !config with det1_rng_allow = p :: !config.det1_rng_allow };
         parse rest
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
     | path :: rest ->
