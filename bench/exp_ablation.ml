@@ -164,7 +164,7 @@ let cut_ablation () =
     let st = rng seed in
     let rounds = Rounds.create () in
     let coloring, _, stats =
-      FA.decompose_with_leftover g palette ~epsilon ~alpha ~cut
+      Nw_engine.Run.decompose_with_leftover g palette ~epsilon ~alpha ~cut
         ~radii:(10, 5) ~rng:st ~rounds
     in
     verified (Verify.partial_forest_decomposition coloring) |> ignore;

@@ -22,7 +22,7 @@ let run_rule name cut g alpha epsilon =
   in
   let rounds = Rounds.create () in
   let coloring, removed, stats =
-    FA.decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng:st
+    Nw_engine.Run.decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng:st
       ~rounds
   in
   verified (Verify.partial_forest_decomposition coloring) |> ignore;

@@ -46,7 +46,7 @@ let run () =
           let be_m = measure_fd be_c be_rounds in
           let rounds = Rounds.create () in
           let ours_c, _ =
-            FA.forest_decomposition g ~epsilon ~alpha:alpha_exact ~rng:st
+            Nw_engine.Run.forest_decomposition g ~epsilon ~alpha:alpha_exact ~rng:st
               ~rounds ()
           in
           let m = measure_fd ours_c rounds in

@@ -56,7 +56,7 @@ let run () =
         let palette = Palette.full g colors in
         let rounds = Rounds.create () in
         let coloring, stats =
-          FA.list_forest_decomposition g palette ~epsilon:1.0 ~alpha ~rng:st
+          Nw_engine.Run.list_forest_decomposition g palette ~epsilon:1.0 ~alpha ~rng:st
             ~rounds ()
         in
         let m = measure_fd coloring rounds in

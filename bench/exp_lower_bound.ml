@@ -33,7 +33,7 @@ let run () =
         let st = rng (9500 + int_of_float (100. *. epsilon)) in
         let rounds = Rounds.create () in
         let coloring, _ =
-          Nw_core.Forest_algo.forest_decomposition g ~epsilon ~alpha
+          Nw_engine.Run.forest_decomposition g ~epsilon ~alpha
             ~diameter:`Inv_eps ~rng:st ~rounds ()
         in
         let m = measure_fd coloring rounds in

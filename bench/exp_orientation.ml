@@ -21,7 +21,7 @@ let run () =
         let st = rng (9100 + int_of_float (epsilon *. 100.)) in
         let rounds = Rounds.create () in
         let o, _ =
-          Nw_core.Orient.orientation g ~epsilon ~alpha ~rng:st ~rounds ()
+          Nw_engine.Run.orientation g ~epsilon ~alpha ~rng:st ~rounds ()
         in
         let be_rounds = Rounds.create () in
         let hp =

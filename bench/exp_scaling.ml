@@ -21,7 +21,7 @@ let run () =
         let g = Gen.forest_union st n alpha in
         let rounds = Rounds.create () in
         let coloring, _ =
-          FA.forest_decomposition g ~epsilon ~alpha ~cut:Nw_core.Cut.Depth_mod
+          Nw_engine.Run.forest_decomposition g ~epsilon ~alpha ~cut:Nw_core.Cut.Depth_mod
             ~rng:st ~rounds ()
         in
         verified (Verify.forest_decomposition coloring) |> ignore;

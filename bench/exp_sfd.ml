@@ -41,7 +41,7 @@ let run () =
           let rounds = Rounds.create () in
           let ids = Array.init n (fun v -> v) in
           let sfd, stats =
-            SF.sfd g ~epsilon ~alpha ~orientation ~ids ~rng:st ~rounds
+            Nw_engine.Run.sfd g ~epsilon ~alpha ~orientation ~ids ~rng:st ~rounds
           in
           let m = measure_fd ~star:true sfd rounds in
           colors := m.colors :: !colors;
@@ -93,7 +93,7 @@ let run () =
         let outcome =
           try
             let coloring, stats =
-              SF.lsfd g palette ~epsilon:0.5 ~orientation ~rng:st ~rounds
+              Nw_engine.Run.star_lsfd g palette ~epsilon:0.5 ~orientation ~rng:st ~rounds
             in
             verified (Verify.star_forest_decomposition coloring) |> ignore;
             verified (Verify.respects_palette coloring palette) |> ignore;

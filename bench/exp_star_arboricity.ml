@@ -32,7 +32,7 @@ let run () =
         let orientation = Nw_core.Orient.of_forest_decomposition fd ~rounds in
         let ids = Array.init (G.n g) (fun v -> v) in
         let sfd, _ =
-          Nw_core.Star_forest.sfd g ~epsilon:0.2 ~alpha ~orientation ~ids
+          Nw_engine.Run.sfd g ~epsilon:0.2 ~alpha ~orientation ~ids
             ~rng:st ~rounds
         in
         verified (Verify.star_forest_decomposition sfd) |> ignore;

@@ -139,14 +139,14 @@ let run_row spec =
       let colors = 3 * spec.alpha in
       let palette = Palette.full g colors in
       let c, _ =
-        FA.list_forest_decomposition g palette ~epsilon:spec.epsilon
+        Nw_engine.Run.list_forest_decomposition g palette ~epsilon:spec.epsilon
           ~alpha:spec.alpha ~rng:st ~rounds ()
       in
       (c, Some palette)
     end
     else begin
       let c, _ =
-        FA.forest_decomposition g ~epsilon:spec.epsilon ~alpha:spec.alpha
+        Nw_engine.Run.forest_decomposition g ~epsilon:spec.epsilon ~alpha:spec.alpha
           ?cut:spec.cut ~diameter:spec.diameter ~rng:st ~rounds ()
       in
       (c, None)

@@ -26,7 +26,7 @@ let run () =
         let palette = Palette.of_lists ~colors lists in
         let rounds = Rounds.create () in
         let coloring =
-          Nw_core.Lsfd.distributed g palette ~epsilon ~alpha_star ~rng:st
+          Nw_engine.Run.lsfd_distributed g palette ~epsilon ~alpha_star ~rng:st
             ~rounds
         in
         let m = measure_fd ~star:true coloring rounds in

@@ -88,7 +88,7 @@ module Micro = struct
   let t1_full_fd () =
     let st = rng () in
     ignore
-      (Nw_core.Forest_algo.forest_decomposition g_small ~epsilon:1.0 ~alpha:4
+      (Nw_engine.Run.forest_decomposition g_small ~epsilon:1.0 ~alpha:4
          ~rng:st ~rounds:(fresh_rounds ()) ())
 
   let e2_h_partition () =
@@ -99,8 +99,8 @@ module Micro = struct
   let e3_lsfd () =
     let palette = Palette.full g_small 17 in
     ignore
-      (Nw_core.Lsfd.distributed g_small palette ~epsilon:0.5 ~alpha_star:4
-         ~rng:(rng ()) ~rounds:(fresh_rounds ()))
+      (Nw_engine.Run.lsfd_distributed g_small palette ~epsilon:0.5
+         ~alpha_star:4 ~rng:(rng ()) ~rounds:(fresh_rounds ()))
 
   let exact_fd =
     match Nw_baseline.Gabow_westermann.forest_partition g_small 4 with
@@ -145,7 +145,7 @@ module Micro = struct
 
   let e9_sfd () =
     ignore
-      (Nw_core.Star_forest.sfd g_simple ~epsilon:0.5 ~alpha:4
+      (Nw_engine.Run.sfd g_simple ~epsilon:0.5 ~alpha:4
          ~orientation:simple_orientation ~ids ~rng:(rng ())
          ~rounds:(fresh_rounds ()))
 
@@ -363,6 +363,9 @@ type env_stamp = {
   fault_plan : (string * string) option;
       (* (digest, summary) of the active --chaos plan; absent otherwise,
          so chaos-free records stay byte-identical *)
+  pipeline : string * string;
+      (* (registry name, pass-list hash) of the engine's algorithm
+         registry, so trajectory diffs can detect pipeline drift *)
 }
 
 let capture_env () =
@@ -386,6 +389,7 @@ let capture_env () =
       (match !chaos_ctx with
       | None -> None
       | Some (plan, _) -> Some (Plan.digest plan, Plan.summary plan));
+    pipeline = Nw_engine.Registry.stamp ();
   }
 
 let ns_to_s ns = Int64.to_float ns /. 1e9
@@ -450,12 +454,17 @@ let write_json ~quick ~domains ~env r =
     \  \"failed\": %s\n\
      }\n"
     (json_escape r.name) (json_escape r.desc) quick domains
-    (match env.fault_plan with
-    | None -> ""
-    | Some (hash, summary) ->
-        Printf.sprintf
-          "    \"fault_plan\": { \"hash\": \"%s\", \"summary\": \"%s\" },\n"
-          (json_escape hash) (json_escape summary))
+    ((match env.fault_plan with
+     | None -> ""
+     | Some (hash, summary) ->
+         Printf.sprintf
+           "    \"fault_plan\": { \"hash\": \"%s\", \"summary\": \"%s\" },\n"
+           (json_escape hash) (json_escape summary))
+    ^
+    let registry, hash = env.pipeline in
+    Printf.sprintf
+      "    \"pipeline\": { \"registry\": \"%s\", \"hash\": \"%s\" },\n"
+      (json_escape registry) (json_escape hash))
     (match env.git_commit with
     | None -> "null"
     | Some c -> Printf.sprintf "\"%s\"" (json_escape c))

@@ -96,7 +96,18 @@ let check_env file json =
             (check_field file fp)
             [ ("hash", shape_string); ("summary", shape_string) ]
       | Some _ ->
-          fail file "env field \"fault_plan\" must be an object when present")
+          fail file "env field \"fault_plan\" must be an object when present");
+      (* pipeline is optional — records written before the engine refactor
+         omit it — but when present it must name the algorithm registry and
+         the pass-list digest it was built from (docs/architecture.md) *)
+      (match J.member "pipeline" env with
+      | None -> ()
+      | Some (J.Obj _ as pl) ->
+          List.iter
+            (check_field file pl)
+            [ ("registry", shape_string); ("hash", shape_string) ]
+      | Some _ ->
+          fail file "env field \"pipeline\" must be an object when present")
   | _ -> ()
 
 (* nw-bench/2 invariant: phase self-rounds (including the trailing

@@ -16,6 +16,10 @@ module Coloring = Nw_decomp.Coloring
 module Verify = Nw_decomp.Verify
 module Obs = Nw_obs.Obs
 module Plan = Nw_chaos.Plan
+module Registry = Nw_engine.Registry
+module Engine = Nw_engine.Engine
+module EStore = Nw_engine.Store
+module Artifact = Nw_engine.Artifact
 
 open Cmdliner
 
@@ -159,19 +163,10 @@ let info_cmd =
 (* decompose                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* every algorithm the CLI knows comes from the engine registry — adding
+   an entry there is all it takes to appear here and in `forestd list` *)
 let algorithm_conv =
-  Arg.enum
-    [
-      ("exact", `Exact);
-      ("greedy", `Greedy);
-      ("be", `Be);
-      ("augment", `Augment);
-      ("star", `Star);
-      ("amr-star", `Amr);
-      ("lsfd", `Lsfd);
-      ("orientation", `Orientation);
-      ("pseudo", `Pseudo);
-    ]
+  Arg.enum (List.map (fun e -> (e.Registry.name, e)) Registry.all)
 
 (* set when report_coloring sees an invalid decomposition; under --chaos
    this becomes a machine-readable diagnostic and a distinct exit code *)
@@ -215,18 +210,7 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
           (fun f -> (plan, f))
           (Nw_chaos.Inject.compile plan ~seed:chaos_seed ())
   in
-  let algo_name =
-    match algorithm with
-    | `Exact -> "exact"
-    | `Greedy -> "greedy"
-    | `Be -> "be"
-    | `Augment -> "augment"
-    | `Star -> "star"
-    | `Amr -> "amr-star"
-    | `Lsfd -> "lsfd"
-    | `Orientation -> "orientation"
-    | `Pseudo -> "pseudo"
-  in
+  let algo_name = algorithm.Registry.name in
   (* under fault injection a failing run is an expected, machine-consumable
      outcome: one JSON line on stderr, exit code 3 (distinct from
      cmdliner's 1/2/124/125 and from the fault-free paths) *)
@@ -236,88 +220,46 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
       error algo_name (Plan.to_string plan) chaos_seed detail;
     exit 3
   in
+  (* the registry entry's pipeline does the algorithmic work; what remains
+     here is reporting, keyed on what the pipeline left in the store *)
   let run_collected () =
     Obs.collect @@ fun () ->
     Obs.span "decompose" @@ fun () ->
-    match algorithm with
-    | `Exact ->
-        let _, c = Nw_baseline.Gabow_westermann.arboricity g in
-        report_coloring g c None;
+    let rounds = Rounds.create () in
+    let pipeline = algorithm.Registry.build { Registry.graph = g; epsilon; alpha } in
+    let ctx = Engine.ctx ~rng ~rounds in
+    let init = EStore.put EStore.empty "graph" (Artifact.Graph g) in
+    let store = Engine.run ctx pipeline ~init in
+    let rounds_opt =
+      if algorithm.Registry.reports_rounds then Some rounds else None
+    in
+    match algorithm.Registry.yields with
+    | Registry.Coloring_out ->
+        let c = EStore.coloring store "coloring" in
+        if EStore.mem store "fd_stats" then begin
+          let stats = EStore.fd_stats store "fd_stats" in
+          Format.printf "leftover: %d, stalls: %d, longest sequence: %d@."
+            stats.Nw_core.Forest_algo.leftover_edges
+            stats.Nw_core.Forest_algo.stalls
+            stats.Nw_core.Forest_algo.max_sequence_length
+        end;
+        if EStore.mem store "sfd_stats" then begin
+          let stats = EStore.sfd_stats store "sfd_stats" in
+          Format.printf "deficiency: %d, leftover: %d@."
+            stats.Nw_core.Star_forest.max_deficiency
+            stats.Nw_core.Star_forest.leftover_edges
+        end;
+        report_coloring ~star:algorithm.Registry.star g c rounds_opt;
         Some c
-    | `Greedy ->
-        let c = Nw_baseline.Greedy_forest.greedy g in
-        report_coloring g c None;
-        Some c
-    | `Be ->
-        let rounds = Rounds.create () in
-        let alpha_star, _ = Arb.pseudo_arboricity g in
-        let c =
-          Nw_baseline.Barenboim_elkin.decompose g ~epsilon ~alpha_star ~rng
-            ~rounds
-        in
-        report_coloring g c (Some rounds);
-        Some c
-    | `Augment ->
-        let rounds = Rounds.create () in
-        let c, stats =
-          Nw_core.Forest_algo.forest_decomposition g ~epsilon ~alpha ~rng
-            ~rounds ()
-        in
-        Format.printf "leftover: %d, stalls: %d, longest sequence: %d@."
-          stats.Nw_core.Forest_algo.leftover_edges
-          stats.Nw_core.Forest_algo.stalls
-          stats.Nw_core.Forest_algo.max_sequence_length;
-        report_coloring g c (Some rounds);
-        Some c
-    | `Star ->
-        let rounds = Rounds.create () in
-        let _, fd = Nw_baseline.Gabow_westermann.arboricity g in
-        let orientation =
-          Nw_core.Orient.of_forest_decomposition fd ~rounds
-        in
-        let ids = Array.init (G.n g) (fun v -> v) in
-        let c, stats =
-          Nw_core.Star_forest.sfd g ~epsilon ~alpha ~orientation ~ids ~rng
-            ~rounds
-        in
-        Format.printf "deficiency: %d, leftover: %d@."
-          stats.Nw_core.Star_forest.max_deficiency
-          stats.Nw_core.Star_forest.leftover_edges;
-        report_coloring ~star:true g c (Some rounds);
-        Some c
-    | `Amr ->
-        let c, _ = Nw_baseline.Amr_star.decompose g in
-        report_coloring ~star:true g c None;
-        Some c
-    | `Lsfd ->
-        let rounds = Rounds.create () in
-        let alpha_star, _ = Arb.pseudo_arboricity g in
-        let k =
-          int_of_float (floor ((4.0 +. epsilon) *. float_of_int alpha_star))
-          - 1
-        in
-        let palette = Nw_decomp.Palette.full g k in
-        let c =
-          Nw_core.Lsfd.distributed g palette ~epsilon ~alpha_star ~rng ~rounds
-        in
-        report_coloring ~star:true g c (Some rounds);
-        Some c
-    | `Orientation ->
-        let rounds = Rounds.create () in
-        let o, _ =
-          Nw_core.Orient.orientation g ~epsilon ~alpha ~rng ~rounds ()
-        in
+    | Registry.Orientation_out ->
+        let o = EStore.orientation store "orientation" in
         Format.printf "max out-degree: %d (alpha = %d)@."
           (Nw_graphs.Orientation.max_out_degree o)
           alpha;
         Format.printf "%a@." Rounds.pp rounds;
         None
-    | `Pseudo ->
-        let rounds = Rounds.create () in
-        let assignment, k =
-          Nw_core.Pseudo_forest.decompose g ~epsilon ~alpha ~rng ~rounds ()
-        in
-        ignore assignment;
+    | Registry.Pseudo_out ->
+        let _assignment, k = EStore.assignment store "assignment" in
         Format.printf "pseudo-forests: %d (alpha = %d)@." k alpha;
         Format.printf "%a@." Rounds.pp rounds;
         None
@@ -374,9 +316,12 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
 
 let decompose_cmd =
   let algorithm =
+    let default =
+      match Registry.find "augment" with Some e -> e | None -> assert false
+    in
     Arg.(
       value
-      & opt algorithm_conv `Augment
+      & opt algorithm_conv default
       & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"Algorithm to run.")
   in
   let alpha =
@@ -449,6 +394,42 @@ let decompose_cmd =
       $ dot $ save $ trace $ metrics $ chaos $ chaos_seed)
 
 (* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_run verbose =
+  List.iter
+    (fun e ->
+      Format.printf "%-12s %s@." e.Registry.name e.Registry.description;
+      if verbose then begin
+        let pipeline =
+          e.Registry.build
+            {
+              Registry.graph = Nw_graphs.Generators.complete 2;
+              epsilon = 0.5;
+              alpha = 1;
+            }
+        in
+        List.iter
+          (fun p -> Format.printf "             - %s@." p.Engine.name)
+          pipeline.Engine.passes
+      end)
+    Registry.all;
+  let registry, hash = Registry.stamp () in
+  Format.printf "registry: %s %s@." registry hash
+
+let list_cmd =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Also print each algorithm's pipeline passes.")
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the registered decomposition algorithms.")
+    Term.(const list_run $ verbose)
+
+(* ------------------------------------------------------------------ *)
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -513,4 +494,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "forestd" ~doc)
-          [ generate_cmd; info_cmd; decompose_cmd; verify_cmd ]))
+          [ generate_cmd; info_cmd; decompose_cmd; verify_cmd; list_cmd ]))

@@ -39,8 +39,8 @@ let () =
 
   let rounds = Rounds.create () in
   let coloring, stats =
-    Nw_core.Forest_algo.list_forest_decomposition g palette ~epsilon:1.0
-      ~alpha ~rng ~rounds ()
+    Nw_engine.Run.list_forest_decomposition g palette ~epsilon:1.0 ~alpha ~rng
+      ~rounds ()
   in
   Verify.exn (Verify.forest_decomposition coloring);
   Verify.exn (Verify.respects_palette coloring palette);

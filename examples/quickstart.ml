@@ -22,7 +22,7 @@ let () =
   let epsilon = 0.5 in
   let rounds = Rounds.create () in
   let coloring, stats =
-    Nw_core.Forest_algo.forest_decomposition g ~epsilon ~alpha ~rng ~rounds ()
+    Nw_engine.Run.forest_decomposition g ~epsilon ~alpha ~rng ~rounds ()
   in
 
   (* every reported number is verified first *)

@@ -78,8 +78,8 @@ let () =
   (* this paper *)
   let rounds = Rounds.create () in
   let o_new, _ =
-    Nw_core.Orient.orientation g ~epsilon:0.5 ~alpha:(density + 1) ~rng
-      ~rounds ()
+    Nw_engine.Run.orientation g ~epsilon:0.5 ~alpha:(density + 1) ~rng ~rounds
+      ()
   in
   Format.printf "Cor 1.1 (this paper): out-degree %d in %d rounds@."
     (O.max_out_degree o_new) (Rounds.total rounds);

@@ -39,8 +39,7 @@ let () =
   let orientation = Nw_core.Orient.of_forest_decomposition fd ~rounds in
   let ids = Array.init (G.n g) (fun v -> v) in
   let sfd, stats =
-    Nw_core.Star_forest.sfd g ~epsilon:0.25 ~alpha ~orientation ~ids ~rng
-      ~rounds
+    Nw_engine.Run.sfd g ~epsilon:0.25 ~alpha ~orientation ~ids ~rng ~rounds
   in
   let new_rounds = schedule_summary "Section 5 matching-based:" sfd in
   Format.printf

@@ -80,6 +80,25 @@ val run_epochs :
   unit ->
   report
 
+(** [run_epochs_resumable] is {!run_epochs} for checkpointing algorithms
+    (the engine's pass pipelines): each attempt receives [~resume] — the
+    newest checkpoint a previous attempt of the {e same epoch} saved via
+    [~save], or [None] on the first attempt — so a crash-restart resumes
+    from the last pass boundary instead of recomputing finished passes.
+    The checkpoint slot is cleared between epochs; the ["chaos.epoch"]
+    span carries a [resumed] attribute. The checkpoint type is abstract
+    — pass [Nw_engine.Engine.run]'s [?resume]/[?checkpoint] straight
+    through. *)
+val run_epochs_resumable :
+  plan:Plan.t ->
+  seed:int ->
+  epochs:int ->
+  ?policy:policy ->
+  verify:('a -> (unit, string) result) ->
+  run:(resume:'ck option -> save:('ck -> unit) -> 'a) ->
+  unit ->
+  report
+
 (** [differential ~seed ~run] returns [run]'s result computed twice: with
     no chaos context, and under the compiled {e empty} plan (which
     installs nothing). Callers assert the two are identical — the golden

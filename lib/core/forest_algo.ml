@@ -52,14 +52,15 @@ let default_radii ~n ~epsilon ~alpha ~max_degree ~cut =
   in
   (r, r')
 
-let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
-    =
-  if epsilon <= 0.0 then invalid_arg "Forest_algo: epsilon <= 0";
+let check_epsilon epsilon =
+  if epsilon <= 0.0 then invalid_arg "Forest_algo: epsilon <= 0"
+
+let partial_color g palette ~epsilon ~alpha ~cut ~radii ~nd ~rng ~rounds =
+  check_epsilon epsilon;
   Obs.span "forest_algo" @@ fun () ->
   let r, r' = radii in
   let d = r + r' in
   let n = G.n g and m = G.m g in
-  let nd = Net_decomp.compute g ~rng ~rounds ~distance:(2 * d) in
   let cut_state =
     Cut.create g cut ~epsilon ~alpha ~radius:r
       ~num_classes:nd.Net_decomp.num_classes ~rng ~rounds
@@ -133,9 +134,18 @@ let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
   in
   (coloring, removed, stats)
 
-let forest_decomposition g ~epsilon ~alpha ?(cut = Cut.Depth_mod) ?radii
-    ?(diameter = `Unbounded) ~rng ~rounds () =
-  Obs.span "forest_decomposition" @@ fun () ->
+let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
+    =
+  check_epsilon epsilon;
+  let r, r' = radii in
+  let d = r + r' in
+  let nd = Net_decomp.compute g ~rng ~rounds ~distance:(2 * d) in
+  partial_color g palette ~epsilon ~alpha ~cut ~radii ~nd ~rng ~rounds
+
+(* Theorem 4.6 parameter choices, shared between the direct entry point
+   and the engine's `augment` pipeline so both derive identical palettes
+   and radii *)
+let fd_plan g ~epsilon ~alpha ~cut ~radii =
   let eps' = epsilon /. 10.0 in
   let k0 =
     max 1 (int_of_float (ceil ((1.0 +. eps') *. float_of_int alpha)))
@@ -148,6 +158,12 @@ let forest_decomposition g ~epsilon ~alpha ?(cut = Cut.Depth_mod) ?radii
         default_radii ~n:(G.n g) ~epsilon:eps' ~alpha
           ~max_degree:(G.max_degree g) ~cut
   in
+  (eps', palette, radii)
+
+let forest_decomposition g ~epsilon ~alpha ?(cut = Cut.Depth_mod) ?radii
+    ?(diameter = `Unbounded) ~rng ~rounds () =
+  Obs.span "forest_decomposition" @@ fun () ->
+  let eps', palette, radii = fd_plan g ~epsilon ~alpha ~cut ~radii in
   let coloring, removed, stats =
     decompose_with_leftover g palette ~epsilon:eps' ~alpha ~cut ~radii ~rng
       ~rounds
@@ -166,16 +182,9 @@ let forest_decomposition g ~epsilon ~alpha ?(cut = Cut.Depth_mod) ?radii
   in
   (final, stats)
 
-let list_forest_decomposition g palette ~epsilon ~alpha ?(split = `Mpx)
-    ?radii ~rng ~rounds () =
-  Obs.span "list_forest_decomposition" @@ fun () ->
-  let colors = Palette.color_space palette in
-  let split_t =
-    match split with
-    | `Mpx -> Color_split.mpx_split g ~colors ~epsilon ~rng ~rounds
-    | `Lll -> Color_split.lll_split g ~colors ~epsilon ~alpha ~rng ~rounds
-  in
-  let q0, q1 = Color_split.induced_palettes g split_t palette in
+(* Theorem 4.10 parameter choices, shared with the engine's `lfd`
+   pipeline *)
+let lfd_plan g ~epsilon ~alpha ~radii =
   let eps' = epsilon /. 10.0 in
   let radii =
     match radii with
@@ -184,23 +193,13 @@ let list_forest_decomposition g palette ~epsilon ~alpha ?(split = `Mpx)
         default_radii ~n:(G.n g) ~epsilon:eps' ~alpha
           ~max_degree:(G.max_degree g) ~cut:Cut.Diam_reduce
   in
-  (* main pass on the side-0 palettes *)
-  let phi0, removed, stats =
-    decompose_with_leftover g q0 ~epsilon:eps' ~alpha ~cut:Cut.Diam_reduce
-      ~radii ~rng ~rounds
-  in
-  (* shrink phi0's diameter; the deleted edges join the leftover *)
-  let eligible = Array.make (G.m g) true in
-  let deleted =
-    Diameter_reduction.delete_long_paths phi0 ~eligible ~epsilon:eps' ~alpha
-      ~rng ~rounds
-  in
-  List.iter (fun e -> removed.(e) <- true) deleted;
-  (* leftover pass on the side-1 palettes, via the Theorem 2.3 LSFD *)
+  (eps', radii)
+
+(* leftover pass on the side-1 palettes, via the Theorem 2.3 LSFD *)
+let[@obs.in_span] lfd_leftover g ~colors ~phi0 ~q1 ~removed ~rng ~rounds =
   let any_left = Array.exists (fun b -> b) removed in
-  let final =
-    if not any_left then phi0
-    else begin
+  if not any_left then phi0
+  else begin
       let sub, emap = G.subgraph_of_edges g removed in
       let alpha_left, _ = Nw_graphs.Arboricity.pseudo_arboricity sub in
       let q1_sub =
@@ -253,8 +252,32 @@ let list_forest_decomposition g palette ~epsilon ~alpha ?(split = `Mpx)
           | None -> ())
         emap;
       out
-    end
+  end
+
+let list_forest_decomposition g palette ~epsilon ~alpha ?(split = `Mpx)
+    ?radii ~rng ~rounds () =
+  Obs.span "list_forest_decomposition" @@ fun () ->
+  let colors = Palette.color_space palette in
+  let split_t =
+    match split with
+    | `Mpx -> Color_split.mpx_split g ~colors ~epsilon ~rng ~rounds
+    | `Lll -> Color_split.lll_split g ~colors ~epsilon ~alpha ~rng ~rounds
   in
+  let q0, q1 = Color_split.induced_palettes g split_t palette in
+  let eps', radii = lfd_plan g ~epsilon ~alpha ~radii in
+  (* main pass on the side-0 palettes *)
+  let phi0, removed, stats =
+    decompose_with_leftover g q0 ~epsilon:eps' ~alpha ~cut:Cut.Diam_reduce
+      ~radii ~rng ~rounds
+  in
+  (* shrink phi0's diameter; the deleted edges join the leftover *)
+  let eligible = Array.make (G.m g) true in
+  let deleted =
+    Diameter_reduction.delete_long_paths phi0 ~eligible ~epsilon:eps' ~alpha
+      ~rng ~rounds
+  in
+  List.iter (fun e -> removed.(e) <- true) deleted;
+  let final = lfd_leftover g ~colors ~phi0 ~q1 ~removed ~rng ~rounds in
   let leftover =
     Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 removed
   in

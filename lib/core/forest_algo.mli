@@ -50,10 +50,69 @@ val default_radii :
   cut:Cut.rule ->
   int * int
 
+(** [check_epsilon eps] raises [Invalid_argument] unless [eps > 0] — the
+    same guard every entry point applies, exposed so engine pipelines can
+    fail at build time instead of mid-run. *)
+val check_epsilon : float -> unit
+
+(** [fd_plan g ~epsilon ~alpha ~cut ~radii] derives the Theorem 4.6
+    parameters: returns [(eps', palette, radii)] with [eps' = epsilon/10],
+    a full palette of [ceil((1+eps') alpha)] colors, and the default radii
+    when [radii] is [None]. Pure; shared by {!forest_decomposition} and the
+    engine's [augment] pipeline so both pick identical parameters. *)
+val fd_plan :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  cut:Cut.rule ->
+  radii:(int * int) option ->
+  float * Nw_decomp.Palette.t * (int * int)
+
+(** [lfd_plan g ~epsilon ~alpha ~radii] is the Theorem 4.10 analogue of
+    {!fd_plan}: returns [(eps', radii)] for the list variant (which always
+    cuts with [Diam_reduce]). *)
+val lfd_plan :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  radii:(int * int) option ->
+  float * (int * int)
+
+(** [partial_color g palette ~epsilon ~alpha ~cut ~radii ~nd ~rng ~rounds]
+    is the class-by-class CUT + augmentation phase of Theorem 4.5, taking a
+    precomputed network decomposition [nd] of [G^(2(R+R'))] (the engine
+    runs that as its own pass). Returns [(coloring, removed, stats)]. *)
+val partial_color :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  alpha:int ->
+  cut:Cut.rule ->
+  radii:int * int ->
+  nd:Net_decomp.t ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * bool array * stats
+
+(** [lfd_leftover g ~colors ~phi0 ~q1 ~removed ~rng ~rounds] colors the
+    [removed] leftover on the reserved side-1 palettes [q1] (Theorem 2.3
+    LSFD, falling back to direct augmentation below its palette regime) and
+    merges the result into [phi0]'s classes (Proposition 4.8). Returns
+    [phi0] unchanged when nothing is left over. *)
+val lfd_leftover :
+  Nw_graphs.Multigraph.t ->
+  colors:int ->
+  phi0:Nw_decomp.Coloring.t ->
+  q1:Nw_decomp.Palette.t ->
+  removed:bool array ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t
+
 (** [decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng
     ~rounds] is Theorem 4.5: a partial LFD covering everything except a
-    leftover edge set of low pseudo-arboricity. Returns
-    [(coloring, removed, stats)]. *)
+    leftover edge set of low pseudo-arboricity ({!partial_color} on a fresh
+    network decomposition). Returns [(coloring, removed, stats)]. *)
 val decompose_with_leftover :
   Nw_graphs.Multigraph.t ->
   Nw_decomp.Palette.t ->

@@ -40,26 +40,23 @@ let greedy_degeneracy g palette =
     edges;
   coloring
 
-let distributed g palette ~epsilon ~alpha_star ~rng ~rounds =
-  let required = int_of_float (floor ((4.0 +. epsilon) *. float_of_int alpha_star)) - 1 in
-  if Palette.min_size palette < required && G.m g > 0 then
-    invalid_arg "Lsfd.distributed: palettes too small";
-  Obs.span "lsfd.distributed" ~attrs:[ ("alpha_star", Obs.Int alpha_star) ]
-  @@ fun () ->
-  let n = G.n g in
-  let hp =
-    H_partition.compute g ~epsilon:(epsilon /. 10.) ~alpha_star ~rounds
-  in
-  let ids = Array.init n (fun v -> v) in
-  let orientation = H_partition.orientation g hp ~ids in
+let required_palette ~epsilon ~alpha_star =
+  int_of_float (floor ((4.0 +. epsilon) *. float_of_int alpha_star)) - 1
+
+let check_palettes g palette ~epsilon ~alpha_star =
+  if
+    Palette.min_size palette < required_palette ~epsilon ~alpha_star
+    && G.m g > 0
+  then invalid_arg "Lsfd.distributed: palettes too small"
+
+let layered_color g palette ~hp ~orientation ~nd ~rounds =
+  Obs.span "lsfd.layered_color" @@ fun () ->
   let layer v = hp.H_partition.layer.(v) in
   let min_layer e =
     let u, v = G.endpoints g e in
     min (layer u) (layer v)
   in
   let coloring = Coloring.create g ~colors:(Palette.color_space palette) in
-  (* network decomposition of G^3 shared by all layers *)
-  let nd = Net_decomp.compute g ~rng ~rounds ~distance:3 in
   let member_cluster = nd.Net_decomp.cluster_of in
   (* color edge e from its residual palette: avoid colors of already-colored
      out-edges at both endpoints and of already-colored edges of the same
@@ -109,3 +106,16 @@ let distributed g palette ~epsilon ~alpha_star ~rng ~rounds =
     done
   done;
   coloring
+
+let distributed g palette ~epsilon ~alpha_star ~rng ~rounds =
+  check_palettes g palette ~epsilon ~alpha_star;
+  Obs.span "lsfd.distributed" ~attrs:[ ("alpha_star", Obs.Int alpha_star) ]
+  @@ fun () ->
+  let hp =
+    H_partition.compute g ~epsilon:(epsilon /. 10.) ~alpha_star ~rounds
+  in
+  let ids = Array.init (G.n g) (fun v -> v) in
+  let orientation = H_partition.orientation g hp ~ids in
+  (* network decomposition of G^3 shared by all layers *)
+  let nd = Net_decomp.compute g ~rng ~rounds ~distance:3 in
+  layered_color g palette ~hp ~orientation ~nd ~rounds

@@ -19,6 +19,35 @@
 val greedy_degeneracy :
   Nw_graphs.Multigraph.t -> Nw_decomp.Palette.t -> Nw_decomp.Coloring.t
 
+(** [required_palette ~epsilon ~alpha_star] is the Theorem 2.3 minimum
+    palette size [floor((4+eps) alpha_star) - 1]. *)
+val required_palette : epsilon:float -> alpha_star:int -> int
+
+(** [check_palettes g palette ~epsilon ~alpha_star] raises
+    [Invalid_argument] when some palette is below {!required_palette} (and
+    the graph has edges) — the guard {!distributed} applies, exposed so
+    engine pipelines can fail at build time. *)
+val check_palettes :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  alpha_star:int ->
+  unit
+
+(** [layered_color g palette ~hp ~orientation ~nd ~rounds] is the coloring
+    phase of Theorem 2.3: process H-partition layers top-down, coloring each
+    layer cluster-by-cluster inside the precomputed [G^3] network
+    decomposition [nd]. The engine runs the H-partition, orientation, and
+    network-decomposition phases as separate passes and feeds them in. *)
+val layered_color :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  hp:H_partition.t ->
+  orientation:Nw_graphs.Orientation.t ->
+  nd:Net_decomp.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t
+
 (** [distributed g palette ~epsilon ~alpha_star ~rng ~rounds]: Theorem 2.3.
     Requires palettes of size at least [floor((4+eps) alpha_star) - 1].
     Every color class of the result is a star forest and every edge is

@@ -77,10 +77,9 @@ let random_subset rng t k =
   done;
   members
 
-let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
-  require_simple g "Star_forest.sfd";
-  Obs.span "star_forest.sfd" ~attrs:[ ("alpha", Obs.Int alpha) ]
-  @@ fun () ->
+(* Lemma 5.2 parameters (t colors, a-subsets, deficiency slack delta),
+   recomputed identically by the select and realize phases *)
+let sfd_params ~epsilon ~alpha ~orientation =
   let t =
     max (O.max_out_degree orientation)
       (int_of_float (ceil ((1.0 +. epsilon) *. float_of_int alpha)))
@@ -89,6 +88,11 @@ let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
   let delta =
     max 1 (int_of_float (ceil (2.0 *. epsilon *. float_of_int alpha)))
   in
+  (t, a, delta)
+
+let sfd_select g ~epsilon ~alpha ~orientation ~rng ~rounds =
+  require_simple g "Star_forest.sfd";
+  let t, a, delta = sfd_params ~epsilon ~alpha ~orientation in
   (* the matching can never exceed |C(v)| = a, so the achievable deficiency
      target is (out-degree - a) + the Lemma 5.2 slack *)
   let deficiency_target v =
@@ -119,11 +123,18 @@ let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
   let converged =
     Array.for_all (fun ev -> not (ev.Lll.violated (fun v -> sides.(v)))) events
   in
+  (sides, converged)
+
+let[@obs.in_span] sfd_realize g ~epsilon ~alpha ~orientation ~sides ~rounds =
+  let t, _, _ = sfd_params ~epsilon ~alpha ~orientation in
   let in_set v i = sides.(v).(i) in
   let coloring, leftover, max_def =
     realize g orientation ~colors:t ~in_set ~admits:(fun _ _ -> true)
   in
   Rounds.charge rounds ~label:"star-forest/matching" 2;
+  (coloring, leftover, max_def)
+
+let sfd_finish coloring leftover ~max_def ~converged ~ids ~rounds =
   let combined, fresh = Recolor.append_stars coloring leftover ~ids ~rounds in
   let leftover_edges =
     Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 leftover
@@ -138,9 +149,20 @@ let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
       lll_converged = converged;
     } )
 
-let lsfd g palette ~epsilon ~orientation ~rng ~rounds =
+let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
+  require_simple g "Star_forest.sfd";
+  Obs.span "star_forest.sfd" ~attrs:[ ("alpha", Obs.Int alpha) ]
+  @@ fun () ->
+  let sides, converged =
+    sfd_select g ~epsilon ~alpha ~orientation ~rng ~rounds
+  in
+  let coloring, leftover, max_def =
+    sfd_realize g ~epsilon ~alpha ~orientation ~sides ~rounds
+  in
+  sfd_finish coloring leftover ~max_def ~converged ~ids ~rounds
+
+let lsfd_select g palette ~epsilon ~orientation ~rng ~rounds =
   require_simple g "Star_forest.lsfd";
-  Obs.span "star_forest.lsfd" @@ fun () ->
   let colors = Palette.color_space palette in
   let admits e i = Palette.mem palette e i in
   let sample st _ =
@@ -179,7 +201,11 @@ let lsfd g palette ~epsilon ~orientation ~rng ~rounds =
          outside Lemma 5.3's regime (need alpha >> log Δ and palettes of \
          size (1+200 eps) alpha)"
   in
-  let sides = attempt 5 in
+  attempt 5
+
+let[@obs.in_span] lsfd_realize g palette ~orientation ~sides ~rounds =
+  let colors = Palette.color_space palette in
+  let admits e i = Palette.mem palette e i in
   let in_set v i = sides.(v).(i) in
   let coloring, leftover, max_def =
     realize g orientation ~colors ~in_set ~admits
@@ -197,3 +223,9 @@ let lsfd g palette ~epsilon ~orientation ~rng ~rounds =
       fresh_colors = 0;
       lll_converged = true;
     } )
+
+let lsfd g palette ~epsilon ~orientation ~rng ~rounds =
+  require_simple g "Star_forest.lsfd";
+  Obs.span "star_forest.lsfd" @@ fun () ->
+  let sides = lsfd_select g palette ~epsilon ~orientation ~rng ~rounds in
+  lsfd_realize g palette ~orientation ~sides ~rounds

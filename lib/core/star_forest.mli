@@ -24,7 +24,74 @@ type stats = {
   lll_converged : bool;
 }
 
-(** [sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds]: Theorem 5.4(1).
+(** [sfd_select g ~epsilon ~alpha ~orientation ~rng ~rounds] is the LLL
+    color-set selection phase of Lemma 5.2: every vertex draws a random
+    [alpha]-subset of the [t] colors and the LLL resamples until each
+    bipartite graph [H_v] has a near-perfect matching. Returns the selected
+    sides and whether the LLL converged within its iteration budget.
+    @raise Invalid_argument on multigraphs. *)
+val sfd_select :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  orientation:Nw_graphs.Orientation.t ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  bool array array * bool
+
+(** [sfd_realize g ~epsilon ~alpha ~orientation ~sides ~rounds] colors each
+    vertex's out-edges along a maximum matching of [H_v] (Proposition 5.1)
+    for the selected [sides]. Returns [(coloring, leftover mask, max
+    deficiency)]. *)
+val sfd_realize :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  orientation:Nw_graphs.Orientation.t ->
+  sides:bool array array ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * bool array * int
+
+(** [sfd_finish coloring leftover ~max_def ~converged ~ids ~rounds] recolors
+    the unmatched [leftover] with fresh star colors ({!Recolor.append_stars})
+    and assembles the stats record. *)
+val sfd_finish :
+  Nw_decomp.Coloring.t ->
+  bool array ->
+  max_def:int ->
+  converged:bool ->
+  ids:int array ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * stats
+
+(** [lsfd_select g palette ~epsilon ~orientation ~rng ~rounds] is the
+    Lemma 5.3 selection: each color joins [C(v)] independently with
+    probability [1 - eps]; retried a few times until every [H_v] has a
+    perfect matching.
+    @raise Invalid_argument on multigraphs.
+    @raise Failure when no perfect matchings materialize. *)
+val lsfd_select :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  orientation:Nw_graphs.Orientation.t ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  bool array array
+
+(** [lsfd_realize g palette ~orientation ~sides ~rounds] realizes the
+    perfect matchings of {!lsfd_select} as a complete list star-forest
+    coloring (asserts nothing is left over). *)
+val lsfd_realize :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  orientation:Nw_graphs.Orientation.t ->
+  sides:bool array array ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * stats
+
+(** [sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds]: Theorem 5.4(1) —
+    {!sfd_select}, {!sfd_realize}, {!sfd_finish} in sequence.
     [orientation] must have max out-degree at most [ceil((1+eps)·alpha)].
     @raise Invalid_argument on multigraphs. *)
 val sfd :

@@ -1,0 +1,84 @@
+(* Typed artifacts flowing between pipeline passes. Each constructor is
+   one kind of intermediate the paper's phases exchange: the input graph,
+   H-partitions, network decompositions (clusterings), orientations,
+   (partial) colorings, palettes, LLL side selections, leftover masks,
+   per-algorithm stats, and the pseudo-forest assignment. *)
+
+module G = Nw_graphs.Multigraph
+module O = Nw_graphs.Orientation
+
+type t =
+  | Graph of G.t
+  | Coloring of Nw_decomp.Coloring.t
+  | Mask of bool array
+  | Orientation of O.t
+  | Partition of Nw_core.H_partition.t
+  | Clustering of Nw_core.Net_decomp.t
+  | Palette of Nw_decomp.Palette.t
+  | Sides of bool array array
+  | Fd_stats of Nw_core.Forest_algo.stats
+  | Sfd_stats of Nw_core.Star_forest.stats
+  | Assignment of int array * int
+  | Flag of bool
+  | Num of int
+
+type kind =
+  [ `Graph
+  | `Coloring
+  | `Mask
+  | `Orientation
+  | `Partition
+  | `Clustering
+  | `Palette
+  | `Sides
+  | `Fd_stats
+  | `Sfd_stats
+  | `Assignment
+  | `Flag
+  | `Num ]
+
+let kind_of = function
+  | Graph _ -> `Graph
+  | Coloring _ -> `Coloring
+  | Mask _ -> `Mask
+  | Orientation _ -> `Orientation
+  | Partition _ -> `Partition
+  | Clustering _ -> `Clustering
+  | Palette _ -> `Palette
+  | Sides _ -> `Sides
+  | Fd_stats _ -> `Fd_stats
+  | Sfd_stats _ -> `Sfd_stats
+  | Assignment _ -> `Assignment
+  | Flag _ -> `Flag
+  | Num _ -> `Num
+
+let kind_name = function
+  | `Graph -> "graph"
+  | `Coloring -> "coloring"
+  | `Mask -> "mask"
+  | `Orientation -> "orientation"
+  | `Partition -> "h-partition"
+  | `Clustering -> "clustering"
+  | `Palette -> "palette"
+  | `Sides -> "sides"
+  | `Fd_stats -> "fd-stats"
+  | `Sfd_stats -> "sfd-stats"
+  | `Assignment -> "assignment"
+  | `Flag -> "flag"
+  | `Num -> "num"
+
+let kind_equal (a : kind) (b : kind) = String.equal (kind_name a) (kind_name b)
+
+(* Deep-copy the artifacts that passes mutate in place (colorings, edge
+   masks, LLL sides) so a checkpointed store stays frozen while the live
+   run keeps mutating its own. Everything else is immutable after
+   construction and can be shared. H-partitions in particular are private
+   records that cannot be rebuilt outside their module — sharing is the
+   only option, and it is safe because no pass mutates them. *)
+let snapshot = function
+  | Coloring c -> Coloring (Nw_decomp.Coloring.copy c)
+  | Mask m -> Mask (Array.copy m)
+  | Sides s -> Sides (Array.map Array.copy s)
+  | ( Graph _ | Orientation _ | Partition _ | Clustering _ | Palette _
+    | Fd_stats _ | Sfd_stats _ | Assignment _ | Flag _ | Num _ ) as a ->
+      a

@@ -1,0 +1,134 @@
+module G = Nw_graphs.Multigraph
+module Arb = Nw_graphs.Arboricity
+module Palette = Nw_decomp.Palette
+
+type spec = { graph : G.t; epsilon : float; alpha : int }
+type yields = Coloring_out | Orientation_out | Pseudo_out
+
+type entry = {
+  name : string;
+  description : string;
+  star : bool;
+  reports_rounds : bool;
+  yields : yields;
+  build : spec -> Engine.pipeline;
+}
+
+(* the `lsfd` CLI recipe sizes its own palette from the graph's exact
+   pseudo-arboricity, like the paper's Theorem 2.3 statement *)
+let build_lsfd { graph = g; epsilon; alpha = _ } =
+  let alpha_star, _ = Arb.pseudo_arboricity g in
+  let k =
+    int_of_float (floor ((4.0 +. epsilon) *. float_of_int alpha_star)) - 1
+  in
+  let palette = Palette.full g k in
+  Pipelines.lsfd g palette ~epsilon ~alpha_star
+
+let all =
+  [
+    {
+      name = "exact";
+      description = "exact arboricity witness (Gabow-Westermann)";
+      star = false;
+      reports_rounds = false;
+      yields = Coloring_out;
+      build = (fun s -> ignore s; Pipelines.exact ());
+    };
+    {
+      name = "greedy";
+      description = "centralized greedy forest coloring";
+      star = false;
+      reports_rounds = false;
+      yields = Coloring_out;
+      build = (fun s -> ignore s; Pipelines.greedy ());
+    };
+    {
+      name = "be";
+      description = "Barenboim-Elkin (2+eps)-approximate FD [BE10]";
+      star = false;
+      reports_rounds = true;
+      yields = Coloring_out;
+      build = (fun s -> Pipelines.be ~epsilon:s.epsilon);
+    };
+    {
+      name = "augment";
+      description = "Theorem 4.6 (1+eps)-approximate forest decomposition";
+      star = false;
+      reports_rounds = true;
+      yields = Coloring_out;
+      build =
+        (fun s ->
+          Pipelines.augment s.graph ~epsilon:s.epsilon ~alpha:s.alpha ());
+    };
+    {
+      name = "star";
+      description = "Theorem 5.4(1) star-forest decomposition";
+      star = true;
+      reports_rounds = true;
+      yields = Coloring_out;
+      build =
+        (fun s -> Pipelines.star s.graph ~epsilon:s.epsilon ~alpha:s.alpha);
+    };
+    {
+      name = "amr-star";
+      description = "folklore 2-alpha star-forest baseline";
+      star = true;
+      reports_rounds = false;
+      yields = Coloring_out;
+      build = (fun s -> ignore s; Pipelines.amr ());
+    };
+    {
+      name = "lsfd";
+      description = "Theorem 2.3 list star-forest decomposition";
+      star = true;
+      reports_rounds = true;
+      yields = Coloring_out;
+      build = build_lsfd;
+    };
+    {
+      name = "orientation";
+      description = "Corollary 1.1 (1+eps)-alpha orientation";
+      star = false;
+      reports_rounds = true;
+      yields = Orientation_out;
+      build =
+        (fun s ->
+          Pipelines.orientation s.graph ~epsilon:s.epsilon ~alpha:s.alpha ());
+    };
+    {
+      name = "pseudo";
+      description = "Corollary 1.1 pseudo-forest decomposition";
+      star = false;
+      reports_rounds = true;
+      yields = Pseudo_out;
+      build =
+        (fun s -> Pipelines.pseudo s.graph ~epsilon:s.epsilon ~alpha:s.alpha);
+    };
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+let names () = List.map (fun e -> e.name) all
+
+let registry_name = "nw-registry/1"
+
+(* FNV-1a 64-bit over "name=pipeline-digest;" for every entry, built on a
+   fixed canonical spec so the stamp depends only on the code *)
+let stamp () =
+  let canonical =
+    { graph = Nw_graphs.Generators.complete 2; epsilon = 0.5; alpha = 1 }
+  in
+  let fnv_prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let feed s =
+    String.iter
+      (fun c ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code c)))
+            fnv_prime)
+      s
+  in
+  List.iter
+    (fun e -> feed (e.name ^ "=" ^ Engine.digest (e.build canonical) ^ ";"))
+    all;
+  (registry_name, Printf.sprintf "%016Lx" !h)

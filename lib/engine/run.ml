@@ -1,0 +1,60 @@
+let run_pipeline ?(extras = []) g pipeline ~rng ~rounds =
+  let ctx = Engine.ctx ~rng ~rounds in
+  let init =
+    List.fold_left
+      (fun s (k, v) -> Store.put s k v)
+      (Store.put Store.empty "graph" (Artifact.Graph g))
+      extras
+  in
+  Engine.run ctx pipeline ~init
+
+let forest_decomposition g ~epsilon ~alpha ?cut ?radii ?diameter ~rng ~rounds
+    () =
+  let pl = Pipelines.augment g ~epsilon ~alpha ?cut ?radii ?diameter () in
+  let store = run_pipeline g pl ~rng ~rounds in
+  (Store.coloring store "coloring", Store.fd_stats store "fd_stats")
+
+let decompose_with_leftover g palette ~epsilon ~alpha ~cut ~radii ~rng ~rounds
+    =
+  let pl = Pipelines.partial g palette ~epsilon ~alpha ~cut ~radii in
+  let store = run_pipeline g pl ~rng ~rounds in
+  ( Store.coloring store "coloring",
+    Store.mask store "removed",
+    Store.fd_stats store "fd_stats" )
+
+let list_forest_decomposition g palette ~epsilon ~alpha ?split ?radii ~rng
+    ~rounds () =
+  let pl = Pipelines.lfd g palette ~epsilon ~alpha ?split ?radii () in
+  let store = run_pipeline g pl ~rng ~rounds in
+  (Store.coloring store "coloring", Store.fd_stats store "fd_stats")
+
+let lsfd_distributed g palette ~epsilon ~alpha_star ~rng ~rounds =
+  let pl = Pipelines.lsfd g palette ~epsilon ~alpha_star in
+  let store = run_pipeline g pl ~rng ~rounds in
+  Store.coloring store "coloring"
+
+let sfd g ~epsilon ~alpha ~orientation ~ids ~rng ~rounds =
+  let pl = Pipelines.sfd ~epsilon ~alpha ~ids in
+  let store =
+    run_pipeline g pl ~rng ~rounds
+      ~extras:[ ("orientation", Artifact.Orientation orientation) ]
+  in
+  (Store.coloring store "coloring", Store.sfd_stats store "sfd_stats")
+
+let star_lsfd g palette ~epsilon ~orientation ~rng ~rounds =
+  let pl = Pipelines.star_list palette ~epsilon in
+  let store =
+    run_pipeline g pl ~rng ~rounds
+      ~extras:[ ("orientation", Artifact.Orientation orientation) ]
+  in
+  (Store.coloring store "coloring", Store.sfd_stats store "sfd_stats")
+
+let orientation g ~epsilon ~alpha ?cut ?radii ~rng ~rounds () =
+  let pl = Pipelines.orientation g ~epsilon ~alpha ?cut ?radii () in
+  let store = run_pipeline g pl ~rng ~rounds in
+  (Store.orientation store "orientation", Store.fd_stats store "fd_stats")
+
+let pseudo g ~epsilon ~alpha ~rng ~rounds () =
+  let pl = Pipelines.pseudo g ~epsilon ~alpha in
+  let store = run_pipeline g pl ~rng ~rounds in
+  Store.assignment store "assignment"

@@ -1,0 +1,98 @@
+(** Drop-in engine-backed replacements for the composite entry points.
+
+    Same signatures and byte-identical fault-free behavior as the direct
+    calls in [lib/core]; each builds the matching {!Pipelines} pipeline and
+    executes it with {!Engine.run} (no checkpointing). Callers that need
+    checkpoint/resume should build the pipeline themselves and call
+    {!Engine.run} with a [~checkpoint] callback. *)
+
+(** [Forest_algo.forest_decomposition] via the [augment] pipeline. *)
+val forest_decomposition :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  ?cut:Nw_core.Cut.rule ->
+  ?radii:int * int ->
+  ?diameter:[ `Unbounded | `Log_over_eps | `Inv_eps ] ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  unit ->
+  Nw_decomp.Coloring.t * Nw_core.Forest_algo.stats
+
+(** [Forest_algo.decompose_with_leftover] via the [partial] pipeline. *)
+val decompose_with_leftover :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  alpha:int ->
+  cut:Nw_core.Cut.rule ->
+  radii:int * int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * bool array * Nw_core.Forest_algo.stats
+
+(** [Forest_algo.list_forest_decomposition] via the [lfd] pipeline. *)
+val list_forest_decomposition :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  alpha:int ->
+  ?split:[ `Mpx | `Lll ] ->
+  ?radii:int * int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  unit ->
+  Nw_decomp.Coloring.t * Nw_core.Forest_algo.stats
+
+(** [Lsfd.distributed] via the [lsfd] pipeline. *)
+val lsfd_distributed :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  alpha_star:int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t
+
+(** [Star_forest.sfd] via the [sfd] pipeline. *)
+val sfd :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  orientation:Nw_graphs.Orientation.t ->
+  ids:int array ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * Nw_core.Star_forest.stats
+
+(** [Star_forest.lsfd] via the [star-list] pipeline. *)
+val star_lsfd :
+  Nw_graphs.Multigraph.t ->
+  Nw_decomp.Palette.t ->
+  epsilon:float ->
+  orientation:Nw_graphs.Orientation.t ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  Nw_decomp.Coloring.t * Nw_core.Star_forest.stats
+
+(** [Orient.orientation] via the [orientation] pipeline. *)
+val orientation :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  ?cut:Nw_core.Cut.rule ->
+  ?radii:int * int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  unit ->
+  Nw_graphs.Orientation.t * Nw_core.Forest_algo.stats
+
+(** [Pseudo_forest.decompose] via the [pseudo] pipeline. *)
+val pseudo :
+  Nw_graphs.Multigraph.t ->
+  epsilon:float ->
+  alpha:int ->
+  rng:Random.State.t ->
+  rounds:Nw_localsim.Rounds.t ->
+  unit ->
+  int array * int

@@ -1,0 +1,99 @@
+type binding = { key : string; value : Artifact.t }
+type t = binding list
+
+let empty = []
+
+let put store key value =
+  { key; value }
+  :: List.filter (fun b -> not (String.equal b.key key)) store
+
+let find store key =
+  match List.find_opt (fun b -> String.equal b.key key) store with
+  | Some b -> Some b.value
+  | None -> None
+
+let mem store key = List.exists (fun b -> String.equal b.key key) store
+
+let get store key =
+  match find store key with
+  | Some v -> v
+  | None -> failwith ("Engine store: missing artifact \"" ^ key ^ "\"")
+
+let keys store = List.map (fun b -> b.key) store
+
+let kinds store = List.map (fun b -> (b.key, Artifact.kind_of b.value)) store
+
+let snapshot store =
+  List.map (fun b -> { b with value = Artifact.snapshot b.value }) store
+
+let mismatch key expected got =
+  failwith
+    (Printf.sprintf "Engine store: artifact \"%s\" has kind %s, expected %s"
+       key
+       (Artifact.kind_name got)
+       (Artifact.kind_name expected))
+
+let graph store key =
+  match get store key with
+  | Artifact.Graph g -> g
+  | a -> mismatch key `Graph (Artifact.kind_of a)
+
+let coloring store key =
+  match get store key with
+  | Artifact.Coloring c -> c
+  | a -> mismatch key `Coloring (Artifact.kind_of a)
+
+let mask store key =
+  match get store key with
+  | Artifact.Mask m -> m
+  | a -> mismatch key `Mask (Artifact.kind_of a)
+
+let orientation store key =
+  match get store key with
+  | Artifact.Orientation o -> o
+  | a -> mismatch key `Orientation (Artifact.kind_of a)
+
+let partition store key =
+  match get store key with
+  | Artifact.Partition p -> p
+  | a -> mismatch key `Partition (Artifact.kind_of a)
+
+let clustering store key =
+  match get store key with
+  | Artifact.Clustering nd -> nd
+  | a -> mismatch key `Clustering (Artifact.kind_of a)
+
+let palette store key =
+  match get store key with
+  | Artifact.Palette p -> p
+  | a -> mismatch key `Palette (Artifact.kind_of a)
+
+let sides store key =
+  match get store key with
+  | Artifact.Sides s -> s
+  | a -> mismatch key `Sides (Artifact.kind_of a)
+
+let fd_stats store key =
+  match get store key with
+  | Artifact.Fd_stats s -> s
+  | a -> mismatch key `Fd_stats (Artifact.kind_of a)
+
+let sfd_stats store key =
+  match get store key with
+  | Artifact.Sfd_stats s -> s
+  | a -> mismatch key `Sfd_stats (Artifact.kind_of a)
+
+let assignment store key =
+  match get store key with
+  | Artifact.Assignment (a, k) -> (a, k)
+  | a -> mismatch key `Assignment (Artifact.kind_of a)
+
+let flag store key =
+  match get store key with
+  | Artifact.Flag b -> b
+  | a -> mismatch key `Flag (Artifact.kind_of a)
+
+let num store key =
+  match get store key with
+  | Artifact.Num n -> n
+  | a -> mismatch key `Num (Artifact.kind_of a)

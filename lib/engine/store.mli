@@ -1,0 +1,46 @@
+(** Keyed artifact store threaded between pipeline passes.
+
+    A persistent map from string keys to {!Artifact.t} values; each pass
+    receives the current store and returns an extended one. [put] replaces
+    any previous binding of the key, so "the coloring" can flow through a
+    pipeline under one key while each pass refines it. *)
+
+type t
+
+val empty : t
+
+(** [put store key v] binds [key] to [v], shadowing any previous binding. *)
+val put : t -> string -> Artifact.t -> t
+
+val find : t -> string -> Artifact.t option
+val mem : t -> string -> bool
+
+(** @raise Failure when the key is absent. *)
+val get : t -> string -> Artifact.t
+
+(** Keys in most-recently-bound-first order. *)
+val keys : t -> string list
+
+(** [(key, kind)] pairs, same order as {!keys}. *)
+val kinds : t -> (string * Artifact.kind) list
+
+(** Deep-copies the mutable artifacts (see {!Artifact.snapshot}) so the
+    result stays frozen while the live run keeps mutating its own. *)
+val snapshot : t -> t
+
+(** Typed getters. Each raises [Failure] when the key is absent or bound
+    to a different artifact kind. *)
+
+val graph : t -> string -> Nw_graphs.Multigraph.t
+val coloring : t -> string -> Nw_decomp.Coloring.t
+val mask : t -> string -> bool array
+val orientation : t -> string -> Nw_graphs.Orientation.t
+val partition : t -> string -> Nw_core.H_partition.t
+val clustering : t -> string -> Nw_core.Net_decomp.t
+val palette : t -> string -> Nw_decomp.Palette.t
+val sides : t -> string -> bool array array
+val fd_stats : t -> string -> Nw_core.Forest_algo.stats
+val sfd_stats : t -> string -> Nw_core.Star_forest.stats
+val assignment : t -> string -> int array * int
+val flag : t -> string -> bool
+val num : t -> string -> int

@@ -1,0 +1,399 @@
+(* Golden equivalence suite for the pass-pipeline engine (lib/engine).
+
+   The engine's contract is byte-identity with the hand-written
+   composites it replaced: for every algorithm family, the same seed must
+   give the same coloring, the same per-label round ledger, the same Obs
+   counters, and the same position in the caller's RNG stream. The Obs
+   *span tree* is allowed to reshape (passes get their own "pass:*"
+   spans); everything else is pinned here. Plus: checkpoint/resume
+   determinism, and a chaos crash-restart that demonstrably resumes from
+   the last pass-boundary checkpoint (fewer re-charged rounds than a
+   from-scratch run) while still passing Verify. *)
+
+module G = Nw_graphs.Multigraph
+module Gen = Nw_graphs.Generators
+module Palette = Nw_decomp.Palette
+module Coloring = Nw_decomp.Coloring
+module Verify = Nw_decomp.Verify
+module Rounds = Nw_localsim.Rounds
+module Obs = Nw_obs.Obs
+module FA = Nw_core.Forest_algo
+module SF = Nw_core.Star_forest
+module Engine = Nw_engine.Engine
+module Store = Nw_engine.Store
+module Artifact = Nw_engine.Artifact
+module Pipelines = Nw_engine.Pipelines
+module Registry = Nw_engine.Registry
+module Run = Nw_engine.Run
+module Plan = Nw_chaos.Plan
+module Harness = Nw_chaos.Harness
+
+let rng seed = Random.State.make [| seed |]
+
+let gm () = Gen.forest_union (rng 31) 90 3
+let gs () = Gen.forest_union_simple (rng 32) 90 3
+
+(* run a thunk with Obs recording on, collecting its trace; recording is
+   restored afterwards so the other suites stay unaffected *)
+let with_obs f =
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) (fun () ->
+      Obs.collect f)
+
+let sorted l = List.sort compare l
+
+(* the golden check: [direct] and [engine] are the same algorithm with
+   the same seed; everything observable except the span tree must
+   coincide *)
+let check_equiv name ~direct ~engine ~coloring_of =
+  let run f =
+    let st = rng 97 in
+    let rounds = Rounds.create () in
+    let out, trace = with_obs (fun () -> f ~rng:st ~rounds) in
+    (* one extra draw pins the caller's stream position *)
+    let probe = Random.State.int st 1_000_000 in
+    (out, rounds, trace, probe)
+  in
+  let out_d, rounds_d, trace_d, probe_d = run direct in
+  let out_e, rounds_e, trace_e, probe_e = run engine in
+  Alcotest.(check (array (option int)))
+    (name ^ ": coloring byte-identical")
+    (Coloring.to_array (coloring_of out_d))
+    (Coloring.to_array (coloring_of out_e));
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": round ledger identical")
+    (sorted (Rounds.ledger rounds_d))
+    (sorted (Rounds.ledger rounds_e));
+  Alcotest.(check int)
+    (name ^ ": trace rounds identical")
+    (Obs.total_rounds trace_d) (Obs.total_rounds trace_e);
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": Obs counters identical")
+    (sorted (Obs.counters trace_d))
+    (sorted (Obs.counters trace_e));
+  Alcotest.(check int)
+    (name ^ ": caller rng stream identical")
+    probe_d probe_e
+
+let test_equiv_augment () =
+  let g = gm () in
+  check_equiv "augment"
+    ~direct:(fun ~rng ~rounds ->
+      FA.forest_decomposition g ~epsilon:0.5 ~alpha:3 ~rng ~rounds ())
+    ~engine:(fun ~rng ~rounds ->
+      Run.forest_decomposition g ~epsilon:0.5 ~alpha:3 ~rng ~rounds ())
+    ~coloring_of:fst
+
+let test_equiv_partial () =
+  let g = gm () in
+  let palette = Palette.full g 5 in
+  let call f ~rng ~rounds =
+    f g palette ~epsilon:0.5 ~alpha:3 ~cut:Nw_core.Cut.Depth_mod
+      ~radii:(6, 3) ~rng ~rounds
+  in
+  check_equiv "partial"
+    ~direct:(call FA.decompose_with_leftover)
+    ~engine:(call Run.decompose_with_leftover)
+    ~coloring_of:(fun (c, _, _) -> c)
+
+let test_equiv_lfd () =
+  let g = gm () in
+  let palette = Palette.full g 8 in
+  check_equiv "lfd"
+    ~direct:(fun ~rng ~rounds ->
+      FA.list_forest_decomposition g palette ~epsilon:1.0 ~alpha:3 ~rng
+        ~rounds ())
+    ~engine:(fun ~rng ~rounds ->
+      Run.list_forest_decomposition g palette ~epsilon:1.0 ~alpha:3 ~rng
+        ~rounds ())
+    ~coloring_of:fst
+
+let test_equiv_lsfd () =
+  let g = gs () in
+  let alpha_star, _ = Nw_graphs.Arboricity.pseudo_arboricity g in
+  let k = int_of_float (floor ((4. +. 0.5) *. float_of_int alpha_star)) - 1 in
+  let palette = Palette.full g k in
+  check_equiv "lsfd"
+    ~direct:(fun ~rng ~rounds ->
+      Nw_core.Lsfd.distributed g palette ~epsilon:0.5 ~alpha_star ~rng
+        ~rounds)
+    ~engine:(fun ~rng ~rounds ->
+      Run.lsfd_distributed g palette ~epsilon:0.5 ~alpha_star ~rng ~rounds)
+    ~coloring_of:Fun.id
+
+let sfd_fixture () =
+  let g = gs () in
+  let alpha, fd = Nw_baseline.Gabow_westermann.arboricity g in
+  let rounds = Rounds.create () in
+  let orientation = Nw_core.Orient.of_forest_decomposition fd ~rounds in
+  let ids = Array.init (G.n g) (fun v -> v) in
+  (g, alpha, orientation, ids)
+
+let test_equiv_sfd () =
+  let g, alpha, orientation, ids = sfd_fixture () in
+  check_equiv "sfd"
+    ~direct:(fun ~rng ~rounds ->
+      SF.sfd g ~epsilon:0.25 ~alpha ~orientation ~ids ~rng ~rounds)
+    ~engine:(fun ~rng ~rounds ->
+      Run.sfd g ~epsilon:0.25 ~alpha ~orientation ~ids ~rng ~rounds)
+    ~coloring_of:fst
+
+let test_equiv_star_lsfd () =
+  (* Lemma 5.3 needs alpha >> log Delta and generous palettes; mirror the
+     exp_sfd fixture (alpha 16, palettes of size 48 out of 56) *)
+  let g = Gen.forest_union_simple (rng 33) 100 16 in
+  let _, fd = Nw_baseline.Gabow_westermann.arboricity g in
+  let orientation =
+    Nw_core.Orient.of_forest_decomposition fd ~rounds:(Rounds.create ())
+  in
+  let colors = 56 in
+  let lists = Gen.list_palettes (rng 55) g ~colors ~size:48 in
+  let palette = Palette.of_lists ~colors lists in
+  check_equiv "star-lsfd"
+    ~direct:(fun ~rng ~rounds ->
+      SF.lsfd g palette ~epsilon:0.5 ~orientation ~rng ~rounds)
+    ~engine:(fun ~rng ~rounds ->
+      Run.star_lsfd g palette ~epsilon:0.5 ~orientation ~rng ~rounds)
+    ~coloring_of:fst
+
+(* orientation/pseudo yield no coloring; compare the yields directly
+   plus ledger/counters/stream via a dummy coloring *)
+let test_equiv_orientation () =
+  let g = gm () in
+  let run f =
+    let st = rng 97 in
+    let rounds = Rounds.create () in
+    let (o, stats), trace =
+      with_obs (fun () -> f g ~epsilon:0.5 ~alpha:3 ~rng:st ~rounds ())
+    in
+    ( Array.init (G.n g) (Nw_graphs.Orientation.out_degree o),
+      stats,
+      sorted (Rounds.ledger rounds),
+      sorted (Obs.counters trace),
+      Random.State.int st 1_000_000 )
+  in
+  let d =
+    run (fun g ~epsilon ~alpha ~rng ~rounds () ->
+        Nw_core.Orient.orientation g ~epsilon ~alpha ~rng ~rounds ())
+  in
+  let e =
+    run (fun g ~epsilon ~alpha ~rng ~rounds () ->
+        Run.orientation g ~epsilon ~alpha ~rng ~rounds ())
+  in
+  Alcotest.(check bool) "orientation: identical observables" true (d = e)
+
+let test_equiv_pseudo () =
+  let g = gm () in
+  let run f =
+    let st = rng 97 in
+    let rounds = Rounds.create () in
+    let out, trace =
+      with_obs (fun () -> f g ~epsilon:0.5 ~alpha:3 ~rng:st ~rounds ())
+    in
+    ( out,
+      sorted (Rounds.ledger rounds),
+      sorted (Obs.counters trace),
+      Random.State.int st 1_000_000 )
+  in
+  let d = run Nw_core.Pseudo_forest.decompose in
+  let e = run Run.pseudo in
+  Alcotest.(check bool) "pseudo: identical observables" true (d = e)
+
+(* --- checkpoint/resume --------------------------------------------- *)
+
+let augment_pipeline g =
+  match Registry.find "augment" with
+  | Some e -> e.Registry.build { Registry.graph = g; epsilon = 0.5; alpha = 3 }
+  | None -> Alcotest.fail "augment not registered"
+
+let test_resume_determinism () =
+  let g = gm () in
+  let pipeline = augment_pipeline g in
+  let init = Store.put Store.empty "graph" (Artifact.Graph g) in
+  let checkpoints = ref [] in
+  let full_rounds = Rounds.create () in
+  let ctx = Engine.ctx ~rng:(rng 7) ~rounds:full_rounds in
+  let full =
+    Engine.run ~checkpoint:(fun ck -> checkpoints := ck :: !checkpoints) ctx
+      pipeline ~init
+  in
+  Alcotest.(check int)
+    "one checkpoint per pass"
+    (List.length pipeline.Engine.passes)
+    (List.length !checkpoints);
+  (* resuming from *every* checkpoint reproduces the final coloring and
+     recharges only the remaining passes' rounds *)
+  List.iter
+    (fun ck ->
+      let rounds = Rounds.create () in
+      let ctx' = Engine.ctx ~rng:(rng 12345) ~rounds in
+      let resumed = Engine.run ~resume:ck ctx' pipeline ~init:Store.empty in
+      Alcotest.(check (array (option int)))
+        (Printf.sprintf "resume@%d: coloring identical" ck.Engine.ck_completed)
+        (Coloring.to_array (Store.coloring full "coloring"))
+        (Coloring.to_array (Store.coloring resumed "coloring"));
+      if ck.Engine.ck_completed = List.length pipeline.Engine.passes then
+        Alcotest.(check int)
+          "resume@end: nothing recharged" 0 (Rounds.total rounds)
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "resume@%d: no more rounds than full run"
+             ck.Engine.ck_completed)
+          true
+          (Rounds.total rounds <= Rounds.total full_rounds))
+    !checkpoints
+
+let test_resume_wrong_pipeline () =
+  let g = gm () in
+  let pipeline = augment_pipeline g in
+  let init = Store.put Store.empty "graph" (Artifact.Graph g) in
+  let checkpoints = ref [] in
+  let ctx = Engine.ctx ~rng:(rng 7) ~rounds:(Rounds.create ()) in
+  ignore
+    (Engine.run
+       ~checkpoint:(fun ck -> checkpoints := ck :: !checkpoints)
+       ctx pipeline ~init);
+  let ck = List.hd !checkpoints in
+  let other = Pipelines.pseudo g ~epsilon:0.5 ~alpha:3 in
+  let ctx' = Engine.ctx ~rng:(rng 7) ~rounds:(Rounds.create ()) in
+  match Engine.run ~resume:ck ctx' other ~init:Store.empty with
+  | _ -> Alcotest.fail "checkpoint from another pipeline accepted"
+  | exception Engine.Engine_error _ -> ()
+
+(* --- chaos crash-restart via checkpoints --------------------------- *)
+
+(* The star pipeline's only message-kernel passes sit in its final pass
+   (sfd.append: H-partition peel + Cole-Vishkin), so a total message
+   drop lets passes 0-3 complete — saving checkpoints — and stalls the
+   last one. With decay 0 the retry is fault-free: it must resume from
+   the pass-4 boundary, recharge strictly fewer rounds than a
+   from-scratch run, and still produce the from-scratch coloring. *)
+let test_chaos_resume () =
+  let g = gs () in
+  let alpha, _ = Nw_baseline.Gabow_westermann.arboricity g in
+  let entry =
+    match Registry.find "star" with
+    | Some e -> e
+    | None -> Alcotest.fail "star not registered"
+  in
+  let pipeline =
+    entry.Registry.build { Registry.graph = g; epsilon = 0.5; alpha }
+  in
+  let init = Store.put Store.empty "graph" (Artifact.Graph g) in
+  (* from-scratch fault-free baseline *)
+  let baseline_rounds = Rounds.create () in
+  let (_ : Store.t) =
+    Engine.run
+      (Engine.ctx ~rng:(rng 3) ~rounds:baseline_rounds)
+      pipeline ~init
+  in
+  let attempt_rounds = ref [] in
+  let run ~resume ~save =
+    let rounds = Rounds.create () in
+    let ctx = Engine.ctx ~rng:(rng 3) ~rounds in
+    Fun.protect
+      ~finally:(fun () ->
+        attempt_rounds := Rounds.total rounds :: !attempt_rounds)
+      (fun () -> Engine.run ?resume ~checkpoint:save ctx pipeline ~init)
+  in
+  let verify store =
+    Verify.star_forest_decomposition (Store.coloring store "coloring")
+  in
+  let plan = Result.get_ok (Plan.of_string "drop=1.0") in
+  let report =
+    Harness.run_epochs_resumable ~plan ~seed:2 ~epochs:1
+      ~policy:{ Harness.max_retries = 1; decay = 0.0 }
+      ~verify ~run ()
+  in
+  Alcotest.(check int) "epoch ends valid" 1 report.Harness.valid;
+  Alcotest.(check int) "recovery counted" 1 report.Harness.recoveries;
+  (match report.Harness.epochs with
+  | [ ep ] ->
+      Alcotest.(check int) "two attempts" 2 (List.length ep.Harness.attempts);
+      (match ep.Harness.attempts with
+      | [ a0; a1 ] ->
+          Alcotest.(check string)
+            "attempt 0 crashes detectably" "detected"
+            (Harness.outcome_label a0.Harness.outcome);
+          Alcotest.(check string)
+            "attempt 1 valid" "valid"
+            (Harness.outcome_label a1.Harness.outcome)
+      | _ -> Alcotest.fail "expected exactly two attempts")
+  | _ -> Alcotest.fail "expected exactly one epoch");
+  match !attempt_rounds with
+  | [ resumed; _crashed ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "resumed attempt recharges fewer rounds (%d < full %d)" resumed
+           (Rounds.total baseline_rounds))
+        true
+        (resumed < Rounds.total baseline_rounds);
+      Alcotest.(check bool) "resumed attempt recharges something" true
+        (resumed > 0)
+  | _ -> Alcotest.fail "expected two recorded attempts"
+
+(* the resumed coloring equals the from-scratch one: re-run the scenario
+   keeping the final store *)
+let test_chaos_resume_coloring () =
+  let g = gs () in
+  let alpha, _ = Nw_baseline.Gabow_westermann.arboricity g in
+  let entry = Option.get (Registry.find "star") in
+  let pipeline =
+    entry.Registry.build { Registry.graph = g; epsilon = 0.5; alpha }
+  in
+  let init = Store.put Store.empty "graph" (Artifact.Graph g) in
+  let baseline =
+    Engine.run
+      (Engine.ctx ~rng:(rng 3) ~rounds:(Rounds.create ()))
+      pipeline ~init
+  in
+  let last = ref None in
+  let run ~resume ~save =
+    let ctx = Engine.ctx ~rng:(rng 3) ~rounds:(Rounds.create ()) in
+    let store = Engine.run ?resume ~checkpoint:save ctx pipeline ~init in
+    last := Some store;
+    store
+  in
+  let verify store =
+    Verify.star_forest_decomposition (Store.coloring store "coloring")
+  in
+  let plan = Result.get_ok (Plan.of_string "drop=1.0") in
+  ignore
+    (Harness.run_epochs_resumable ~plan ~seed:2 ~epochs:1
+       ~policy:{ Harness.max_retries = 1; decay = 0.0 }
+       ~verify ~run ());
+  match !last with
+  | None -> Alcotest.fail "no attempt completed"
+  | Some store ->
+      Alcotest.(check (array (option int)))
+        "resumed coloring equals from-scratch coloring"
+        (Coloring.to_array (Store.coloring baseline "coloring"))
+        (Coloring.to_array (Store.coloring store "coloring"))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "golden equivalence",
+        [
+          Alcotest.test_case "augment" `Quick test_equiv_augment;
+          Alcotest.test_case "partial" `Quick test_equiv_partial;
+          Alcotest.test_case "lfd" `Quick test_equiv_lfd;
+          Alcotest.test_case "lsfd" `Quick test_equiv_lsfd;
+          Alcotest.test_case "sfd" `Quick test_equiv_sfd;
+          Alcotest.test_case "star-lsfd" `Quick test_equiv_star_lsfd;
+          Alcotest.test_case "orientation" `Quick test_equiv_orientation;
+          Alcotest.test_case "pseudo" `Quick test_equiv_pseudo;
+        ] );
+      ( "checkpoint/resume",
+        [
+          Alcotest.test_case "determinism" `Quick test_resume_determinism;
+          Alcotest.test_case "wrong pipeline rejected" `Quick
+            test_resume_wrong_pipeline;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "crash-restart resumes" `Quick test_chaos_resume;
+          Alcotest.test_case "resumed coloring identical" `Quick
+            test_chaos_resume_coloring;
+        ] );
+    ]

@@ -216,6 +216,45 @@ let pure =
          let counter = ref 0" );
   ]
 
+(* --- ENG001 ------------------------------------------------------- *)
+
+let eng =
+  [
+    ( "positive: direct composite in bench",
+      check_fires "ENG001" ~path:"bench/fixture.ml"
+        "let run g rng rounds =\n\
+        \  Nw_core.Forest_algo.forest_decomposition g ~epsilon:0.5 ~alpha:3\n\
+        \    ~rng ~rounds ()" );
+    ( "positive: composite through an alias",
+      check_fires "ENG001" ~path:"bin/fixture.ml"
+        "module FA = Nw_core.Forest_algo\n\
+         let run g rng rounds = FA.partial_color g" );
+    ( "positive: Star_forest phase function in lib/localsim",
+      check_fires "ENG001" ~path:"lib/localsim/fixture.ml"
+        "let f g = Nw_core.Star_forest.sfd_realize g" );
+    ( "positive: Lsfd.distributed in bench",
+      check_fires "ENG001" ~path:"bench/fixture.ml"
+        "let f g p = Nw_core.Lsfd.distributed g p" );
+    ( "negative: the engine wrapper is the sanctioned path",
+      check_silent "ENG001" ~path:"bench/fixture.ml"
+        "let run g rng rounds =\n\
+        \  Nw_engine.Run.forest_decomposition g ~epsilon:0.5 ~alpha:3\n\
+        \    ~rng ~rounds ()" );
+    ( "negative: leaf primitives stay callable",
+      check_silent "ENG001" ~path:"bench/fixture.ml"
+        "let f fd rounds = Nw_core.Orient.of_forest_decomposition fd ~rounds" );
+    ( "negative: composites may call each other inside lib/core",
+      check_silent "ENG001" ~path:"lib/core/fixture.ml"
+        "let f g = Forest_algo.partial_color g" );
+    ( "negative: lib/engine is the sanctioned caller",
+      check_silent "ENG001" ~path:"lib/engine/fixture.ml"
+        "let f g = Nw_core.Forest_algo.partial_color g" );
+    ( "suppressed",
+      check_silent "ENG001" ~path:"bench/fixture.ml"
+        "(* nwlint:disable ENG001 -- fixture justification *)\n\
+         let f g = Nw_core.Forest_algo.partial_color g" );
+  ]
+
 (* --- suppression hygiene and parse errors ------------------------- *)
 
 let hygiene =
@@ -278,6 +317,7 @@ let () =
       ("io001", List.map tc io);
       ("exn001", List.map tc exn);
       ("pure001", List.map tc pure);
+      ("eng001", List.map tc eng);
       ("hygiene", List.map tc hygiene);
       ("self-check", [ Alcotest.test_case "repo lib/ is clean" `Quick self_check ]);
     ]

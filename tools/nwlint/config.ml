@@ -21,6 +21,15 @@ type t = {
          these. The splittable, seed-threaded [Nw_chaos.Rng] is the
          blessed source (every draw a pure function of seed +
          coordinates, so fault timelines replay). *)
+  eng1_composites : (string * string list) list;
+      (* composite-phase entry points of lib/core, as
+         (module, functions): outside lib/core and lib/engine these are
+         ENG001 — callers go through the engine (Nw_engine.Run or a
+         Pipelines builder) so every run gets per-pass spans, rounds
+         attribution, and checkpoints. Leaf primitives (Cut, Color_split,
+         Diameter_reduction, H_partition.compute, ...) stay callable. *)
+  eng1_allow : string list;
+      (* dotted [Module.func] names exempted from ENG001 *)
 }
 
 let default =
@@ -48,6 +57,31 @@ let default =
        bench harness (safe under --domains K by construction) *)
     scratch_modules = [ "Scratch"; "Counters" ];
     det1_rng_allow = [ "Nw_chaos.Rng"; "Chaos.Rng" ];
+    eng1_composites =
+      [
+        ( "Forest_algo",
+          [
+            "forest_decomposition";
+            "list_forest_decomposition";
+            "decompose_with_leftover";
+            "partial_color";
+            "lfd_leftover";
+          ] );
+        ("Lsfd", [ "distributed"; "layered_color" ]);
+        ( "Star_forest",
+          [
+            "sfd";
+            "lsfd";
+            "sfd_select";
+            "sfd_realize";
+            "sfd_finish";
+            "lsfd_select";
+            "lsfd_realize";
+          ] );
+        ("Orient", [ "orientation" ]);
+        ("Pseudo_forest", [ "decompose" ]);
+      ];
+    eng1_allow = [];
   }
 
 (* (id, default severity, one-line summary) — the source of truth for
@@ -78,6 +112,12 @@ let rules =
       Diagnostic.Error,
       "no top-level mutable state in lib/core or lib/decomp outside \
        sanctioned scratch modules" );
+    ( "ENG001",
+      Diagnostic.Error,
+      "composite-phase entry points of lib/core (Forest_algo, Lsfd, \
+       Star_forest, Orient, Pseudo_forest composites) are only invokable \
+       via the engine (Nw_engine.Run / Pipelines) outside lib/core and \
+       lib/engine" );
     ("PARSE001", Diagnostic.Error, "source file failed to parse");
     ( "SUPP001",
       Diagnostic.Error,

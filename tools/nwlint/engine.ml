@@ -28,6 +28,9 @@ type scope = {
   in_lib_obs : bool;
   in_lib_chaos : bool;  (* lib/chaos hosts the sanctioned Rng itself *)
   in_pure_dirs : bool;  (* lib/core or lib/decomp *)
+  in_engine_dirs : bool;
+      (* lib/core (the composites' home) or lib/engine (the sanctioned
+         caller) — ENG001 is silent there *)
 }
 
 let path_segments path =
@@ -52,6 +55,8 @@ let scope_of_path path =
         in_lib_chaos = (match rest with "chaos" :: _ -> true | _ -> false);
         in_pure_dirs =
           (match rest with ("core" | "decomp") :: _ -> true | _ -> false);
+        in_engine_dirs =
+          (match rest with ("core" | "engine") :: _ -> true | _ -> false);
       }
   | _ ->
       {
@@ -59,6 +64,7 @@ let scope_of_path path =
         in_lib_obs = false;
         in_lib_chaos = false;
         in_pure_dirs = false;
+        in_engine_dirs = false;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -243,6 +249,37 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
             returned values; printing belongs to bench/ and bin/")
   in
 
+  (* --- ENG001 -------------------------------------------------- *)
+  (* composite-phase entry points of lib/core may only be invoked via
+     the engine: outside lib/core and lib/engine, any alias-expanded
+     path ending in a denylisted [Module.func] fires. The engine wraps
+     every pass in an Obs span, attributes its rounds, and can
+     checkpoint at the boundary — direct calls silently lose all
+     three. *)
+  let check_eng1 ~loc segs =
+    if not scope.in_engine_dirs then
+      match List.rev segs with
+      | func :: modname :: _ -> (
+          match List.assoc_opt modname config.eng1_composites with
+          | Some funcs
+            when List.mem func funcs
+                 && not
+                      (List.mem
+                         (modname ^ "." ^ func)
+                         config.eng1_allow) ->
+              add ~loc "ENG001" Error
+                (Printf.sprintf
+                   "direct call of composite `%s` outside the engine"
+                   (dotted segs))
+                (Some
+                   "go through Nw_engine.Run (drop-in signatures) or \
+                    build the pipeline with Nw_engine.Pipelines and \
+                    Engine.run — direct calls lose per-pass spans, \
+                    rounds attribution, and checkpoints")
+          | _ -> ())
+      | _ -> ()
+  in
+
   (* --- LEDGER001 ----------------------------------------------- *)
   let is_rounds_charge segs =
     match List.rev segs with
@@ -416,7 +453,8 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
             let segs = expand_lid txt in
             check_det1 ~loc segs;
             check_det2_bare ~loc segs;
-            check_io ~loc segs
+            check_io ~loc segs;
+            check_eng1 ~loc segs
         | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
             let segs = expand_lid txt in
             check_det2_eq ~loc (dotted segs) args;

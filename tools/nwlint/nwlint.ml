@@ -2,7 +2,8 @@
 
      nwlint [--json] [--fail-on warning|error] [--list-rules]
             [--deny-module M] [--allow-scalar F] [--deny-value V]
-            [--scratch M] [--allow-rng PREFIX] PATH...
+            [--scratch M] [--allow-rng PREFIX]
+            [--allow-composite Module.func] PATH...
 
    Paths are files or directories (searched recursively for .ml/.mli,
    skipping dot/underscore directories such as _build). Exit status:
@@ -18,7 +19,8 @@ let usage () =
   prerr_endline
     "usage: nwlint [--json] [--fail-on warning|error] [--list-rules]\n\
     \              [--deny-module M] [--allow-scalar F] [--deny-value V]\n\
-    \              [--scratch M] [--allow-rng PREFIX] PATH...";
+    \              [--scratch M] [--allow-rng PREFIX]\n\
+    \              [--allow-composite Module.func] PATH...";
   exit 2
 
 let list_rules () =
@@ -63,6 +65,9 @@ let () =
     | "--allow-rng" :: p :: rest ->
         config :=
           { !config with det1_rng_allow = p :: !config.det1_rng_allow };
+        parse rest
+    | "--allow-composite" :: f :: rest ->
+        config := { !config with eng1_allow = f :: !config.eng1_allow };
         parse rest
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
     | path :: rest ->
