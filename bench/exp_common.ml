@@ -57,6 +57,10 @@ let flush_out () =
 (* when set (--csv DIR), every table is also written as DIR/<slug>.csv *)
 let csv_dir : string option ref = ref None
 
+(* set by the harness under --json: experiments that persist their own
+   record (exp_scaling's BENCH_scaling.json) key off this *)
+let json_enabled = ref false
+
 let csv_slug title =
   String.map
     (fun c ->

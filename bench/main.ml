@@ -26,6 +26,11 @@
    Regression gate:       dune exec bench/main.exe -- --json --quick
                           (skips the slowest experiments and the micro
                            pass; completes in well under a minute)
+   Data-plane selection:  dune exec bench/main.exe -- --backend csr
+                          (boxed | csr; the process-wide default plane for
+                           every message-passing kernel, stamped into
+                           env.backend of the BENCH records; outputs are
+                           byte-identical across backends)
    Fault injection:       dune exec bench/main.exe -- --chaos drop=0.1 \
                             --chaos-seed 7 --exp e2
                           (runs the selected experiments under the seeded
@@ -359,6 +364,7 @@ type env_stamp = {
   git_commit : string option;
   hostname : string;
   ocaml_version : string;
+  backend : string; (* the process-default data plane (--backend) *)
   stamped_at : float; (* unix epoch seconds *)
   fault_plan : (string * string) option;
       (* (digest, summary) of the active --chaos plan; absent otherwise,
@@ -384,6 +390,7 @@ let capture_env () =
     git_commit;
     hostname = (try Unix.gethostname () with _ -> "unknown");
     ocaml_version = Sys.ocaml_version;
+    backend = Nw_graphs.Backend.(to_string (default ()));
     stamped_at = Unix.time ();
     fault_plan =
       (match !chaos_ctx with
@@ -439,6 +446,7 @@ let write_json ~quick ~domains ~env r =
     \    \"git_commit\": %s,\n\
     \    \"hostname\": \"%s\",\n\
     \    \"ocaml_version\": \"%s\",\n\
+    \    \"backend\": \"%s\",\n\
     \    \"stamped_at\": %.0f\n\
     \  },\n\
     \  \"rounds_attribution\": \"per-domain\",\n\
@@ -470,6 +478,7 @@ let write_json ~quick ~domains ~env r =
     | Some c -> Printf.sprintf "\"%s\"" (json_escape c))
     (json_escape env.hostname)
     (json_escape env.ocaml_version)
+    (json_escape env.backend)
     env.stamped_at
     (if domains > 1 then "process-wide" else "exact")
     r.wall_s r.charged_rounds r.uf_queries r.bfs_runs r.uf_rebuilds
@@ -515,8 +524,15 @@ let () =
         | Some n -> chaos_seed := n
         | None -> failwith "bench: --chaos-seed expects an integer");
         strip acc rest
+    | "--backend" :: name :: rest ->
+        (match Nw_graphs.Backend.of_string name with
+        | Ok k -> Nw_graphs.Backend.set_default k
+        | Error msg ->
+            Printf.eprintf "bench: --backend: %s\n" msg;
+            exit 2);
+        strip acc rest
     | [ (("--csv" | "--domains" | "--trace" | "--exp" | "--chaos"
-        | "--chaos-seed") as flag) ] ->
+        | "--chaos-seed" | "--backend") as flag) ] ->
         Printf.eprintf "bench: %s expects an argument\n" flag;
         exit 2
     | "--exp" :: name :: rest -> strip (name :: acc) rest
@@ -531,6 +547,7 @@ let () =
       | None -> () (* empty plan: byte-identical to no --chaos at all *)
       | Some faults -> chaos_ctx := Some (plan, faults)));
   if !trace_file <> None || metrics then Obs.set_enabled true;
+  Exp_common.json_enabled := json;
   let flags = [ "--no-micro"; "--json"; "--quick"; "--metrics" ] in
   let selected = List.filter (fun a -> not (List.mem a flags)) args in
   (match

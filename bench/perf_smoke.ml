@@ -12,6 +12,10 @@
    Run:        dune exec bench/perf_smoke.exe
    Fast gate:  dune exec bench/perf_smoke.exe -- --fast
                (also wired into `dune build @perf-smoke`)
+   Data plane: dune exec bench/perf_smoke.exe -- --backend csr
+               (sets the process-default plane for every message kernel;
+                the smoke also always runs a boxed-vs-csr differential +
+                throughput sanity leg on the H-partition peel)
 
    Prints a wall-clock ns/query table with the cached/BFS speedup, then a
    Bechamel pass over the same kernels for statistically robust per-run
@@ -155,12 +159,80 @@ let bechamel_pass ~fast cs =
     (List.sort compare !rows);
   flush stdout
 
+(* ------------------------------------------------------------------ *)
+(* data-plane leg: boxed vs csr on the H-partition peel                *)
+(* ------------------------------------------------------------------ *)
+
+module Backend = Nw_graphs.Backend
+
+(* Differential first (identical layer arrays or exit 1), then a loose
+   throughput floor: csr may not stream slower than a fifth of the boxed
+   rate. The floor is deliberately far below the expected >= 2x win so a
+   noisy CI box cannot flake it, while a plane that silently fell off the
+   zero-allocation path (or a merge bug that degrades to quadratic) still
+   trips it. *)
+let data_plane_check ~fast =
+  let alpha = 4 in
+  let n = if fast then 20_001 else 200_001 in
+  let g = Gen.forest_union (rng 42) n alpha in
+  let m = G.m g in
+  let peel backend =
+    Backend.with_kind backend @@ fun () ->
+    let rounds = Nw_localsim.Rounds.create () in
+    let t0 = Unix.gettimeofday () in
+    let hp =
+      Nw_core.H_partition.compute g ~epsilon:1.0 ~alpha_star:alpha ~rounds
+    in
+    (hp.Nw_core.H_partition.layer, Unix.gettimeofday () -. t0)
+  in
+  let boxed_layer, boxed_wall = peel Backend.Boxed in
+  let csr_layer, csr_wall = peel Backend.Csr in
+  Array.iteri
+    (fun v l ->
+      if l <> boxed_layer.(v) then begin
+        Printf.eprintf
+          "perf smoke: csr H-partition diverges from boxed at vertex %d \
+           (%d vs %d)\n"
+          v l boxed_layer.(v);
+        exit 1
+      end)
+    csr_layer;
+  let rate wall = float_of_int m /. wall in
+  let ratio = rate csr_wall /. rate boxed_wall in
+  Printf.printf
+    "\n== data plane: H-partition peel, n=%d m=%d ==\n\
+     boxed  %8.1f ms  %.3e edges/sec\n\
+     csr    %8.1f ms  %.3e edges/sec  (%.2fx, layers identical)\n"
+    n m (boxed_wall *. 1e3) (rate boxed_wall) (csr_wall *. 1e3)
+    (rate csr_wall) ratio;
+  if ratio < 0.2 then begin
+    Printf.eprintf
+      "perf smoke: csr throughput sanity floor violated (%.2fx < 0.2x \
+       boxed)\n"
+      ratio;
+    exit 1
+  end;
+  flush stdout
+
 let () =
   let fast = Array.exists (( = ) "--fast") Sys.argv in
   let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv in
-  Printf.printf "perf smoke: connectivity cache vs BFS oracle%s\n"
-    (if fast then " (fast mode)" else "");
+  (let rec backend_arg i =
+     if i >= Array.length Sys.argv - 1 then ()
+     else if Sys.argv.(i) = "--backend" then
+       match Backend.of_string Sys.argv.(i + 1) with
+       | Ok k -> Backend.set_default k
+       | Error msg ->
+           Printf.eprintf "perf_smoke: --backend: %s\n" msg;
+           exit 2
+     else backend_arg (i + 1)
+   in
+   backend_arg 1);
+  Printf.printf "perf smoke: connectivity cache vs BFS oracle%s (backend %s)\n"
+    (if fast then " (fast mode)" else "")
+    (Backend.to_string (Backend.default ()));
   let cs = cases ~fast in
   wall_table ~fast cs;
+  data_plane_check ~fast;
   if not no_bechamel then bechamel_pass ~fast cs;
   Printf.printf "\nperf smoke completed.\n"

@@ -107,8 +107,37 @@ let check_env file json =
             (check_field file pl)
             [ ("registry", shape_string); ("hash", shape_string) ]
       | Some _ ->
-          fail file "env field \"pipeline\" must be an object when present")
+          fail file "env field \"pipeline\" must be an object when present");
+      (* backend is optional — records predating the CSR data plane omit
+         it — but when present it names the process-default plane
+         (docs/data-plane.md) *)
+      (match J.member "backend" env with
+      | None -> ()
+      | Some (J.String _) -> ()
+      | Some _ ->
+          fail file "env field \"backend\" must be a string when present")
   | _ -> ()
+
+(* additive nw-bench/2 field: a throughput sweep (BENCH_scaling.json) is a
+   list of (backend, domains, instance, rate) legs, each fully numeric so
+   trajectory tooling can diff edges_per_sec across commits *)
+let check_throughput file json =
+  match J.member "throughput" json with
+  | None -> ()
+  | Some (J.List legs) ->
+      if legs = [] then fail file "field \"throughput\" must not be empty";
+      List.iteri
+        (fun i leg ->
+          if not (shape_obj leg) then
+            fail file "throughput leg %d is not an object" i
+          else begin
+            check_field file leg ("backend", shape_string);
+            List.iter
+              (fun f -> check_field file leg (f, shape_number))
+              [ "domains"; "edges"; "wall_s"; "edges_per_sec" ]
+          end)
+        legs
+  | Some _ -> fail file "field \"throughput\" must be an array when present"
 
 (* nw-bench/2 invariant: phase self-rounds (including the trailing
    "(unattributed)" bucket) sum to the flat charged_rounds total *)
@@ -152,7 +181,8 @@ let check_bench file =
           List.iter (check_field file json) (common_fields @ v2_fields);
           check_connectivity file json;
           check_env file json;
-          check_phases file json
+          check_phases file json;
+          check_throughput file json
       | Some other -> fail file "unknown schema %S" other
       | None -> fail file "missing schema tag")
 

@@ -190,7 +190,9 @@ let report_coloring ?(star = false) g coloring rounds =
   | Some r -> Format.printf "%a@." Rounds.pp r
 
 let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
-    chaos chaos_seed =
+    chaos chaos_seed backend domains =
+  Nw_graphs.Backend.set_default backend;
+  Nw_localsim.Dpool.with_domains domains @@ fun () ->
   let g = Io.read_edge_list path in
   let rng = Random.State.make [| seed |] in
   let alpha =
@@ -198,7 +200,9 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
     | Some a -> a
     | None -> fst (Nw_baseline.Gabow_westermann.arboricity g)
   in
-  Format.printf "graph: %a, alpha = %d, eps = %g@." G.pp g alpha epsilon;
+  Format.printf "graph: %a, alpha = %d, eps = %g, backend = %s@." G.pp g alpha
+    epsilon
+    (Nw_graphs.Backend.to_string backend);
   if trace <> None || metrics then Obs.set_enabled true;
   (* an empty --chaos plan compiles to None: no hooks, output identical
      to a chaos-free invocation *)
@@ -387,11 +391,35 @@ let decompose_cmd =
             "Seed for the fault plan; the same (plan, seed) pair replays \
              the identical fault timeline.")
   in
+  let backend =
+    let backend_conv =
+      Arg.enum
+        (List.map
+           (fun k -> (Nw_graphs.Backend.to_string k, k))
+           Nw_graphs.Backend.all)
+    in
+    Arg.(
+      value
+      & opt backend_conv Nw_graphs.Backend.Boxed
+      & info [ "backend" ] ~docv:"PLANE"
+          ~doc:
+            "Data plane for the message-passing kernels (boxed | csr). \
+             Outputs are byte-identical; csr streams flat Bigarray \
+             adjacency (docs/data-plane.md).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"K"
+          ~doc:
+            "Shard each LOCAL round across K domains. Results, round \
+             ledgers, and chaos digests are byte-identical to K=1.")
+  in
   Cmd.v
     (Cmd.info "decompose" ~doc:"Run a decomposition algorithm on a graph.")
     Term.(
       const decompose $ graph_pos $ algorithm $ epsilon_arg $ seed_arg $ alpha
-      $ dot $ save $ trace $ metrics $ chaos $ chaos_seed)
+      $ dot $ save $ trace $ metrics $ chaos $ chaos_seed $ backend $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)

@@ -1,3 +1,5 @@
+(* nwlint:disable PERF001 -- the AMR baseline is kept deliberately close to its paper pseudocode; it is the comparison target, not a hot path *)
+
 module G = Nw_graphs.Multigraph
 module Coloring = Nw_decomp.Coloring
 

@@ -1,5 +1,6 @@
 module G = Nw_graphs.Multigraph
 module O = Nw_graphs.Orientation
+module Scratch = Nw_graphs.Scratch
 module Coloring = Nw_decomp.Coloring
 module Rounds = Nw_localsim.Rounds
 module Obs = Nw_obs.Obs
@@ -64,11 +65,13 @@ let[@obs.in_span] execute_depth_mod t coloring ~core ~region ~removed ~n_mod =
   (* per color: BFS-root every tree of the eligible c-colored subgraph,
      preferring roots inside the core, and delete edges whose deeper
      endpoint depth is J_c modulo N (one random J per tree). *)
-  let depth = Array.make n (-1) in
+  (* generation-stamped depths: absent = unvisited, so the per-color
+     reset is O(1) instead of an O(n) refill *)
+  let depth = Scratch.Ints.create n in
   let offset = Array.make n 0 in
   let max_depth = ref 0 in
   for c = 0 to Coloring.colors coloring - 1 do
-    Array.fill depth 0 n (-1);
+    Scratch.Ints.reset depth;
     let keep =
       Array.init (G.m g) (fun e ->
           Coloring.color coloring e = Some c && eligible g core region e)
@@ -76,23 +79,22 @@ let[@obs.in_span] execute_depth_mod t coloring ~core ~region ~removed ~n_mod =
     let sub, emap = G.subgraph_of_edges g keep in
     (* root preference: core vertices first, then everything *)
     let bfs_from v0 =
-      if depth.(v0) < 0 && G.degree sub v0 > 0 then begin
+      if (not (Scratch.Ints.mem depth v0)) && G.degree sub v0 > 0 then begin
         let j = Random.State.int t.rng n_mod in
         let q = Queue.create () in
-        depth.(v0) <- 0;
+        Scratch.Ints.set depth v0 0;
         offset.(v0) <- j;
         Queue.add v0 q;
         while not (Queue.is_empty q) do
           let u = Queue.take q in
-          if depth.(u) > !max_depth then max_depth := depth.(u);
-          Array.iter
-            (fun (w, _) ->
-              if depth.(w) < 0 then begin
-                depth.(w) <- depth.(u) + 1;
+          let du = Scratch.Ints.get depth u ~default:0 in
+          if du > !max_depth then max_depth := du;
+          G.iter_incident sub u (fun w _ ->
+              if not (Scratch.Ints.mem depth w) then begin
+                Scratch.Ints.set depth w (du + 1);
                 offset.(w) <- j;
                 Queue.add w q
               end)
-            (G.incident sub u)
         done
       end
     in
@@ -106,7 +108,11 @@ let[@obs.in_span] execute_depth_mod t coloring ~core ~region ~removed ~n_mod =
       (fun se e ->
         ignore se;
         let u, v = G.endpoints g e in
-        let d = max depth.(u) depth.(v) in
+        let d =
+          max
+            (Scratch.Ints.get depth u ~default:(-1))
+            (Scratch.Ints.get depth v ~default:(-1))
+        in
         if d mod n_mod = offset.(u) then remove coloring removed e)
       emap
   done;
@@ -169,14 +175,14 @@ let is_good coloring ~core ~region =
   let g = Coloring.graph coloring in
   let n = G.n g in
   let ok = ref true in
-  let seen = Array.make n false in
+  let seen = Scratch.Marks.create n in
   for c = 0 to Coloring.colors coloring - 1 do
     if !ok then begin
-      Array.fill seen 0 n false;
+      Scratch.Marks.reset seen;
       let q = Queue.create () in
       for v = 0 to n - 1 do
-        if core.(v) && not seen.(v) then begin
-          seen.(v) <- true;
+        if core.(v) && not (Scratch.Marks.mem seen v) then begin
+          Scratch.Marks.add seen v;
           Queue.add v q
         end
       done;
@@ -185,8 +191,8 @@ let is_good coloring ~core ~region =
         if not region.(u) then ok := false
         else
           Coloring.iter_colored_incident coloring u c (fun w _ ->
-              if not seen.(w) then begin
-                seen.(w) <- true;
+              if not (Scratch.Marks.mem seen w) then begin
+                Scratch.Marks.add seen w;
                 Queue.add w q
               end)
       done

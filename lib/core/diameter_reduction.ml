@@ -1,5 +1,6 @@
 module G = Nw_graphs.Multigraph
 module O = Nw_graphs.Orientation
+module Scratch = Nw_graphs.Scratch
 module Coloring = Nw_decomp.Coloring
 module Rounds = Nw_localsim.Rounds
 module Obs = Nw_obs.Obs
@@ -152,24 +153,42 @@ let chop_depths coloring ~epsilon ~rng ~rounds =
   let deleted = ref [] in
   let max_depth_seen = ref 0 in
   let n = G.n g in
-  let depth = Array.make n (-1) in
+  (* generation-stamped depths: O(1) reset per color, offsets assigned at
+     visit time (only read where a depth was stamped) *)
+  let depth = Scratch.Ints.create n in
   let tree_offset = Array.make n 0 in
   for c = 0 to Coloring.colors coloring - 1 do
     let forest, femap = Coloring.subgraph coloring c in
-    Array.fill depth 0 n (-1);
+    Scratch.Ints.reset depth;
     (* root every tree at its first vertex; record a random per-tree offset *)
     for v0 = 0 to n - 1 do
-      if depth.(v0) < 0 && G.degree forest v0 > 0 then begin
-        let comp = component_bfs forest v0 depth in
+      if (not (Scratch.Ints.mem depth v0)) && G.degree forest v0 > 0 then begin
         let j = Random.State.int rng z in
-        List.iter (fun u -> tree_offset.(u) <- j) comp
+        let q = Queue.create () in
+        Scratch.Ints.set depth v0 0;
+        tree_offset.(v0) <- j;
+        Queue.add v0 q;
+        while not (Queue.is_empty q) do
+          let u = Queue.take q in
+          let du = Scratch.Ints.get depth u ~default:0 in
+          G.iter_incident forest u (fun w _ ->
+              if not (Scratch.Ints.mem depth w) then begin
+                Scratch.Ints.set depth w (du + 1);
+                tree_offset.(w) <- j;
+                Queue.add w q
+              end)
+        done
       end
     done;
     Array.iteri
       (fun fe e ->
         ignore fe;
         let u, v = G.endpoints g e in
-        let d = max depth.(u) depth.(v) in
+        let d =
+          max
+            (Scratch.Ints.get depth u ~default:(-1))
+            (Scratch.Ints.get depth v ~default:(-1))
+        in
         if d > !max_depth_seen then max_depth_seen := d;
         if d mod z = tree_offset.(u) then begin
           Coloring.unset coloring e;

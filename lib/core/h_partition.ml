@@ -26,23 +26,25 @@ let compute g ~epsilon ~alpha_star ~rounds =
      layer [i] and announces its removal on all incident edges. A vertex
      joining at iteration [i] counts neighbors joining simultaneously, which
      matches "at most t neighbors in H_i ∪ ... ∪ H_k". *)
+  (* a peeling announcement carries no payload, so the round is a
+     counting broadcast: on the CSR plane it streams the adjacency
+     vectors with zero per-message allocation (byte-identical to the
+     generic per-message path the boxed plane still executes) *)
   let iteration i =
-    let send v (st : peel_state) =
+    let decide v (st : peel_state) =
       ignore v;
-      if st.layer = -1 && st.live_deg <= threshold then
-        Array.to_list (Array.map (fun (_, e) -> (e, ())) (G.incident g v))
-      else []
+      st.layer = -1 && st.live_deg <= threshold
     in
-    let recv v (st : peel_state) msgs =
+    let recv v (st : peel_state) k =
       ignore v;
       let st =
         if st.layer = -1 && st.live_deg <= threshold then
           { st with layer = i }
         else st
       in
-      { st with live_deg = st.live_deg - List.length msgs }
+      { st with live_deg = st.live_deg - k }
     in
-    Net.round net ~label:"h-partition/peel" ~send ~recv
+    Net.round_count net ~label:"h-partition/peel" ~decide ~recv
   in
   let all_assigned () =
     let rec check v =

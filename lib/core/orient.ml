@@ -1,5 +1,6 @@
 module G = Nw_graphs.Multigraph
 module O = Nw_graphs.Orientation
+module Scratch = Nw_graphs.Scratch
 module Coloring = Nw_decomp.Coloring
 module Rounds = Nw_localsim.Rounds
 module Obs = Nw_obs.Obs
@@ -9,29 +10,29 @@ let of_forest_decomposition coloring ~rounds =
   let g = Coloring.graph coloring in
   let n = G.n g in
   let head = Array.init (G.m g) (fun e -> fst (G.endpoints g e)) in
-  let depth = Array.make n (-1) in
+  (* generation-stamped depths: O(1) reset per color *)
+  let depth = Scratch.Ints.create n in
   let max_depth = ref 0 in
   for c = 0 to Coloring.colors coloring - 1 do
     let forest, femap = Coloring.subgraph coloring c in
-    Array.fill depth 0 n (-1);
+    Scratch.Ints.reset depth;
     (* BFS-root each tree; point every tree edge at the shallower side *)
     for v0 = 0 to n - 1 do
-      if depth.(v0) < 0 && G.degree forest v0 > 0 then begin
+      if (not (Scratch.Ints.mem depth v0)) && G.degree forest v0 > 0 then begin
         let q = Queue.create () in
-        depth.(v0) <- 0;
+        Scratch.Ints.set depth v0 0;
         Queue.add v0 q;
         while not (Queue.is_empty q) do
           let u = Queue.take q in
-          if depth.(u) > !max_depth then max_depth := depth.(u);
-          Array.iter
-            (fun (w, fe) ->
-              if depth.(w) < 0 then begin
-                depth.(w) <- depth.(u) + 1;
+          let du = Scratch.Ints.get depth u ~default:0 in
+          if du > !max_depth then max_depth := du;
+          G.iter_incident forest u (fun w fe ->
+              if not (Scratch.Ints.mem depth w) then begin
+                Scratch.Ints.set depth w (du + 1);
                 (* edge points from child w toward parent u *)
                 head.(femap.(fe)) <- G.other_endpoint g femap.(fe) w;
                 Queue.add w q
               end)
-            (G.incident forest u)
         done
       end
     done

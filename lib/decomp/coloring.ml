@@ -1,3 +1,5 @@
+(* nwlint:disable PERF001 -- the per-color union-find rebuild is already lazily gated by generation counters (uf_gen/uf_built); when it does run it is Theta(n + m_c) by design, so the fills are not the cost *)
+
 module G = Nw_graphs.Multigraph
 module Obs = Nw_obs.Obs
 

@@ -1,0 +1,34 @@
+(* Data-plane selection: which GRAPH backend newly created round kernels
+   run on. The process default is set once at startup from --backend
+   (bench/main, forestd) and read by Msg_net.create; [with_kind] scopes a
+   choice for differential tests. Atomic so concurrent bench domains see
+   a coherent value. *)
+
+type kind = Boxed | Csr
+
+let to_string = function Boxed -> "boxed" | Csr -> "csr"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "boxed" | "multigraph" -> Ok Boxed
+  | "csr" -> Ok Csr
+  | _ -> Error (Printf.sprintf "unknown backend %S (expected boxed|csr)" s)
+
+let all = [ Boxed; Csr ]
+
+let state = Atomic.make Boxed
+
+let default () = Atomic.get state
+let set_default k = Atomic.set state k
+
+let with_kind k f =
+  let saved = Atomic.get state in
+  Atomic.set state k;
+  Fun.protect ~finally:(fun () -> Atomic.set state saved) f
+
+(* First-class conformance witnesses: coercing both backends to GRAPH
+   here makes signature drift a compile error in lib/graphs itself. *)
+let boxed : (module Graph_sig.GRAPH with type t = Multigraph.t) =
+  (module Multigraph)
+
+let csr : (module Graph_sig.GRAPH with type t = Csr.t) = (module Csr)

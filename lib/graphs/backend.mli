@@ -1,0 +1,33 @@
+(** Run-time data-plane selection.
+
+    The process-wide default backend for newly created message-passing
+    kernels ([Msg_net.create] reads it). Both planes produce byte-identical
+    results; the choice is purely a performance knob, surfaced as
+    [--backend boxed|csr] in bench and forestd and stamped into the [env]
+    of nw-bench/2 records. *)
+
+type kind =
+  | Boxed  (** {!Multigraph} — boxed adjacency rows, the reference plane *)
+  | Csr  (** {!Csr} — flat Bigarray planes, cache-linear *)
+
+val to_string : kind -> string
+val of_string : string -> (kind, string) result
+
+(** Both kinds, in a fixed order (bench sweeps iterate this). *)
+val all : kind list
+
+(** The process default; [Boxed] until {!set_default} is called. *)
+val default : unit -> kind
+
+val set_default : kind -> unit
+
+(** [with_kind k f] runs [f] with the default set to [k], restoring the
+    previous default afterwards (also on exception). *)
+val with_kind : kind -> (unit -> 'a) -> 'a
+
+(** First-class GRAPH witnesses for the two backends — conformance is
+    checked here at compile time, and generic consumers can instantiate
+    over them. *)
+val boxed : (module Graph_sig.GRAPH with type t = Multigraph.t)
+
+val csr : (module Graph_sig.GRAPH with type t = Csr.t)

@@ -1,0 +1,250 @@
+(* Compressed-sparse-row data plane over flat Bigarray int vectors.
+
+   Layout: [row_ptr] has n+1 entries; the incident edges of vertex v are
+   [packed.{row_ptr.{v}} .. packed.{row_ptr.{v+1}-1}], each an immediate
+   int carrying (neighbor lsl 31) lor edge_id. [src]/[dst] give edge
+   endpoints by edge id, exactly as at construction.
+
+   Determinism contract: every operation, iteration order included, is
+   byte-identical to Multigraph on the same logical graph. Multigraph
+   fills adjacency rows by a single ascending pass over edge ids; the
+   counting-sort fill below reproduces that order exactly, so
+   iter_incident/incident/ball agree pair for pair.
+
+   Why Bigarray: rows are unboxed, cache-linear, outside the OCaml minor
+   heap (no GC scanning of 10^7-edge planes), and shareable across
+   domains without copying. Why packing: one load per incident pair
+   instead of a pointer chase into a boxed tuple. 31+31 bits fit OCaml's
+   63-bit immediates with room to spare at the ROADMAP scale (10^8 edges
+   needs 27 bits). *)
+
+type plane =
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  n : int;
+  m : int;
+  src : plane;
+  dst : plane;
+  row_ptr : plane; (* n+1 entries, row_ptr.{n} = 2m *)
+  packed : plane; (* 2m entries: (neighbor lsl 31) lor edge_id *)
+}
+
+let limit = 1 lsl 31
+
+let pack nbr eid = (nbr lsl 31) lor eid
+let nbr_of p = p lsr 31
+let eid_of p = p land (limit - 1)
+
+let alloc len =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 len)
+
+(* ------------------------------------------------------------------ *)
+(* construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared finish step: endpoints already validated, ids 0..m-1. *)
+let finish n ~m ~src_at ~dst_at =
+  if n >= limit then invalid_arg "Csr: n exceeds 2^31";
+  if m >= limit then invalid_arg "Csr: m exceeds 2^31";
+  let src = alloc m and dst = alloc m in
+  for e = 0 to m - 1 do
+    src.{e} <- src_at e;
+    dst.{e} <- dst_at e
+  done;
+  let row_ptr = alloc (n + 1) in
+  for v = 0 to n do
+    row_ptr.{v} <- 0
+  done;
+  for e = 0 to m - 1 do
+    row_ptr.{src.{e} + 1} <- row_ptr.{src.{e} + 1} + 1;
+    row_ptr.{dst.{e} + 1} <- row_ptr.{dst.{e} + 1} + 1
+  done;
+  for v = 1 to n do
+    row_ptr.{v} <- row_ptr.{v} + row_ptr.{v - 1}
+  done;
+  let packed = alloc (2 * m) in
+  (* single ascending pass over edge ids — the Multigraph fill order *)
+  let fill = Array.make (max 1 n) 0 in
+  for e = 0 to m - 1 do
+    let u = src.{e} and v = dst.{e} in
+    packed.{row_ptr.{u} + fill.(u)} <- pack v e;
+    fill.(u) <- fill.(u) + 1;
+    packed.{row_ptr.{v} + fill.(v)} <- pack u e;
+    fill.(v) <- fill.(v) + 1
+  done;
+  { n; m; src; dst; row_ptr; packed }
+
+type builder = {
+  bn : int;
+  mutable bsrc : int array;
+  mutable bdst : int array;
+  mutable count : int;
+}
+
+let create_builder n =
+  if n < 0 then invalid_arg "Csr.create_builder: negative size";
+  { bn = n; bsrc = Array.make 16 0; bdst = Array.make 16 0; count = 0 }
+
+let add_edge b u v =
+  if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+    invalid_arg "Csr.add_edge: endpoint out of range";
+  if u = v then invalid_arg "Csr.add_edge: self-loop";
+  if b.count = Array.length b.bsrc then begin
+    let cap = 2 * b.count in
+    let src = Array.make cap 0 and dst = Array.make cap 0 in
+    Array.blit b.bsrc 0 src 0 b.count;
+    Array.blit b.bdst 0 dst 0 b.count;
+    b.bsrc <- src;
+    b.bdst <- dst
+  end;
+  let id = b.count in
+  b.bsrc.(id) <- u;
+  b.bdst.(id) <- v;
+  b.count <- id + 1;
+  id
+
+let build b =
+  finish b.bn ~m:b.count
+    ~src_at:(fun e -> b.bsrc.(e))
+    ~dst_at:(fun e -> b.bdst.(e))
+
+let of_edges n edges =
+  let b = create_builder n in
+  List.iter (fun (u, v) -> ignore (add_edge b u v)) edges;
+  build b
+
+let of_multigraph g =
+  finish (Multigraph.n g) ~m:(Multigraph.m g)
+    ~src_at:(fun e -> fst (Multigraph.endpoints g e))
+    ~dst_at:(fun e -> snd (Multigraph.endpoints g e))
+
+let to_multigraph g =
+  let b = Multigraph.create_builder g.n in
+  for e = 0 to g.m - 1 do
+    ignore (Multigraph.add_edge b g.src.{e} g.dst.{e})
+  done;
+  Multigraph.build b
+
+(* ------------------------------------------------------------------ *)
+(* queries — semantics and order identical to Multigraph               *)
+(* ------------------------------------------------------------------ *)
+
+let n g = g.n
+let m g = g.m
+
+let endpoints g e =
+  if e < 0 || e >= g.m then invalid_arg "Csr.endpoints: edge out of range";
+  (g.src.{e}, g.dst.{e})
+
+let other_endpoint g e v =
+  if e < 0 || e >= g.m then
+    invalid_arg "Csr.other_endpoint: edge out of range";
+  if g.src.{e} = v then g.dst.{e}
+  else if g.dst.{e} = v then g.src.{e}
+  else invalid_arg "Csr.other_endpoint: vertex not on edge"
+
+let degree g v = g.row_ptr.{v + 1} - g.row_ptr.{v}
+
+let max_degree g =
+  let d = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !d then d := degree g v
+  done;
+  !d
+
+let iter_incident g v f =
+  let lo = g.row_ptr.{v} and hi = g.row_ptr.{v + 1} in
+  for i = lo to hi - 1 do
+    let p = g.packed.{i} in
+    f (nbr_of p) (eid_of p)
+  done
+
+let fold_incident g v ~init f =
+  let lo = g.row_ptr.{v} and hi = g.row_ptr.{v + 1} in
+  let acc = ref init in
+  for i = lo to hi - 1 do
+    let p = g.packed.{i} in
+    acc := f !acc (nbr_of p) (eid_of p)
+  done;
+  !acc
+
+let incident g v =
+  let lo = g.row_ptr.{v} in
+  Array.init (degree g v) (fun i ->
+      let p = g.packed.{lo + i} in
+      (nbr_of p, eid_of p))
+
+let edges g = Array.init g.m (fun e -> (g.src.{e}, g.dst.{e}))
+
+let fold_edges f g init =
+  let acc = ref init in
+  for e = 0 to g.m - 1 do
+    acc := f e g.src.{e} g.dst.{e} !acc
+  done;
+  !acc
+
+let is_simple g =
+  let seen = Hashtbl.create (max 16 g.m) in
+  let rec check e =
+    if e >= g.m then true
+    else begin
+      let u = g.src.{e} and v = g.dst.{e} in
+      let key = if u < v then (u, v) else (v, u) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        check (e + 1)
+      end
+    end
+  in
+  check 0
+
+(* BFS twins of the Multigraph versions: same queue discipline, same
+   neighbor order (the CSR row replays the adjacency-row order), so the
+   outputs — including list ordering — are identical. *)
+let ball g v r =
+  let dist = Array.make g.n (-1) in
+  let q = Queue.create () in
+  dist.(v) <- 0;
+  Queue.add v q;
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    let d = dist.(u) in
+    acc := u :: !acc;
+    if d < r then
+      iter_incident g u (fun w _ ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- d + 1;
+            Queue.add w q
+          end)
+  done;
+  !acc
+
+let ball_of_set g vs r =
+  let dist = Array.make g.n (-1) in
+  let members = Array.make g.n false in
+  let q = Queue.create () in
+  List.iter
+    (fun v ->
+      if dist.(v) < 0 then begin
+        dist.(v) <- 0;
+        Queue.add v q
+      end)
+    vs;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    members.(u) <- true;
+    if dist.(u) < r then
+      iter_incident g u (fun w _ ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(u) + 1;
+            Queue.add w q
+          end)
+  done;
+  members
+
+let pp ppf g =
+  Format.fprintf ppf "@[<h>csr(n=%d, m=%d, max_deg=%d)@]" g.n g.m
+    (max_degree g)

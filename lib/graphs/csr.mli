@@ -1,0 +1,61 @@
+(** Compressed-sparse-row graph backend over flat [Bigarray] int planes.
+
+    The compact data plane of [docs/data-plane.md]: adjacency lives in two
+    unboxed vectors — [row_ptr] (offsets) and a packed neighbor/edge
+    vector with [(neighbor lsl 31) lor edge_id] in each slot — so round
+    kernels stream cache lines instead of chasing boxed tuples, and the
+    planes are invisible to the GC and shareable across domains.
+
+    Implements {!Graph_sig.GRAPH} with outputs (iteration order included)
+    byte-identical to {!Multigraph}; the differential suite in
+    [test/test_csr.ml] enforces this. Limits: [n], [m] below [2^31].
+
+    Select it at run time via {!Backend} ([--backend csr] in bench and
+    forestd). *)
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+(** Mirrors [Multigraph.create_builder] — growable unboxed edge arrays. *)
+val create_builder : int -> builder
+
+(** [add_edge b u v] appends edge [uv] and returns its edge id.
+    @raise Invalid_argument on a self-loop or out-of-range endpoint. *)
+val add_edge : builder -> int -> int -> int
+
+(** Freeze a builder into a graph. The builder may keep being used. *)
+val build : builder -> t
+
+(** [of_edges n edges] builds a graph from an explicit edge list; the edge
+    id of the [i]-th pair is [i]. *)
+val of_edges : int -> (int * int) list -> t
+
+(** Convert from/to the boxed reference plane. Edge ids, endpoint order,
+    and adjacency order are preserved exactly in both directions. *)
+val of_multigraph : Multigraph.t -> t
+
+val to_multigraph : t -> Multigraph.t
+
+(** {1 The GRAPH query core} — see {!Graph_sig.GRAPH} for the contracts. *)
+
+val n : t -> int
+val m : t -> int
+val endpoints : t -> int -> int * int
+val other_endpoint : t -> int -> int -> int
+val degree : t -> int -> int
+val max_degree : t -> int
+
+(** Allocates (compat surface); hot paths use {!iter_incident}. *)
+val incident : t -> int -> (int * int) array
+
+val iter_incident : t -> int -> (int -> int -> unit) -> unit
+val fold_incident : t -> int -> init:'a -> ('a -> int -> int -> 'a) -> 'a
+val edges : t -> (int * int) array
+val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val is_simple : t -> bool
+val ball : t -> int -> int -> int list
+val ball_of_set : t -> int list -> int -> bool array
+val pp : Format.formatter -> t -> unit

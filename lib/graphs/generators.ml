@@ -101,41 +101,61 @@ let theta_graph paths len =
   done;
   G.build b
 
-(* Uniform random tree via Prüfer sequence decoding. *)
-let random_tree_edges rng n =
-  if n <= 1 then []
-  else if n = 2 then [ (0, 1) ]
-  else begin
+(* Uniform random tree via Prüfer sequence decoding, written into unboxed
+   edge arrays [eu]/[ev] (length >= n-1) — no cons-cell churn when bench
+   unions trees into 10^7-edge multigraphs. Slot order replays the
+   historical list-based decoder exactly (slot 0 the final leaf pair,
+   slot [n-2-i] the [i]-th decoded edge), so seeded graphs are unchanged. *)
+let random_tree_into rng n eu ev =
+  if n = 2 then begin
+    eu.(0) <- 0;
+    ev.(0) <- 1
+  end
+  else if n > 2 then begin
     let seq = Array.init (n - 2) (fun _ -> Random.State.int rng n) in
     let deg = Array.make n 1 in
     Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
-    let edges = ref [] in
-    (* maintain a priority of smallest leaf via a simple scan pointer *)
     let module IntSet = Set.Make (Int) in
     let leaves = ref IntSet.empty in
     for v = 0 to n - 1 do
       if deg.(v) = 1 then leaves := IntSet.add v !leaves
     done;
-    Array.iter
-      (fun v ->
+    Array.iteri
+      (fun i v ->
         let leaf = IntSet.min_elt !leaves in
         leaves := IntSet.remove leaf !leaves;
-        edges := (leaf, v) :: !edges;
+        eu.(n - 2 - i) <- leaf;
+        ev.(n - 2 - i) <- v;
         deg.(v) <- deg.(v) - 1;
         if deg.(v) = 1 then leaves := IntSet.add v !leaves)
       seq;
-    let u = IntSet.min_elt !leaves in
-    let v = IntSet.max_elt !leaves in
-    (u, v) :: !edges
+    eu.(0) <- IntSet.min_elt !leaves;
+    ev.(0) <- IntSet.max_elt !leaves
   end
 
-let random_tree rng n = G.of_edges n (random_tree_edges rng n)
+let random_tree rng n =
+  let b = G.create_builder n in
+  if n > 1 then begin
+    let eu = Array.make (n - 1) 0 and ev = Array.make (n - 1) 0 in
+    random_tree_into rng n eu ev;
+    for i = 0 to n - 2 do
+      ignore (G.add_edge b eu.(i) ev.(i))
+    done
+  end;
+  G.build b
 
 let forest_union rng n k =
   let b = G.create_builder n in
-  for _ = 1 to k do
-    List.iter (fun (u, v) -> ignore (G.add_edge b u v)) (random_tree_edges rng n)
-  done;
+  if n > 1 then begin
+    (* one scratch pair reused across all k trees *)
+    let eu = Array.make (n - 1) 0 and ev = Array.make (n - 1) 0 in
+    for _ = 1 to k do
+      random_tree_into rng n eu ev;
+      for i = 0 to n - 2 do
+        ignore (G.add_edge b eu.(i) ev.(i))
+      done
+    done
+  end;
   G.build b
 
 exception Tree_stuck

@@ -1,0 +1,71 @@
+(** The read-only graph interface shared by every data-plane backend.
+
+    Extracted from [Multigraph]'s query core: everything a LOCAL-model
+    kernel or decomposition primitive needs to *read* a graph, without
+    committing to a representation. Two backends implement it:
+
+    - {!Multigraph} — the boxed reference plane ([(neighbor, edge) array]
+      adjacency rows); authoritative for semantics.
+    - {!Csr} — the compact plane (flat [Bigarray] int arrays, neighbor and
+      edge id packed into one immediate int); byte-identical outputs,
+      cache-linear traversal.
+
+    The contract is strict: for the same logical graph both backends must
+    agree on every operation below {e including iteration order} —
+    [incident]/[iter_incident]/[fold_incident] enumerate [(neighbor, edge)]
+    pairs in ascending edge-id order, and [ball] returns vertices in
+    reversed BFS-visit order. The qcheck differential suite
+    ([test/test_csr.ml]) pins this down operation by operation.
+
+    Construction and derived-graph surgery ([induced], [subgraph_of_edges],
+    [power]) are not part of the signature: they stay backend-specific, and
+    [Csr.of_multigraph]/[Csr.to_multigraph] bridge the planes. *)
+
+module type GRAPH = sig
+  type t
+
+  val n : t -> int
+  val m : t -> int
+
+  (** Endpoints of an edge, as given at construction ([src], [dst]). *)
+  val endpoints : t -> int -> int * int
+
+  (** [other_endpoint g e v] is the endpoint of [e] that is not [v].
+      @raise Invalid_argument if [v] is not an endpoint of [e]. *)
+  val other_endpoint : t -> int -> int -> int
+
+  val degree : t -> int -> int
+  val max_degree : t -> int
+
+  (** [(neighbor, edge_id)] pairs at [v], ascending edge id; parallel edges
+      appear once per edge id. Compat surface — allocates on the CSR
+      backend; hot paths should use {!iter_incident}. *)
+  val incident : t -> int -> (int * int) array
+
+  (** [iter_incident g v f] calls [f neighbor edge_id] for every incident
+      edge of [v], in ascending edge-id order, without allocating. *)
+  val iter_incident : t -> int -> (int -> int -> unit) -> unit
+
+  (** [fold_incident g v ~init f] folds [f acc neighbor edge_id] in the
+      same order as {!iter_incident}. *)
+  val fold_incident : t -> int -> init:'a -> ('a -> int -> int -> 'a) -> 'a
+
+  (** All edges as [(u, v)] indexed by edge id. Fresh array. *)
+  val edges : t -> (int * int) array
+
+  (** [fold_edges f g init] folds [f edge_id u v] over all edges. *)
+  val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+  (** [true] when no two edges share the same unordered endpoint pair. *)
+  val is_simple : t -> bool
+
+  (** [ball g v r]: vertices within distance [r] of [v], including [v],
+      in reversed BFS-visit order (both backends agree exactly). *)
+  val ball : t -> int -> int -> int list
+
+  (** [ball_of_set g vs r]: membership array of vertices within distance
+      [r] of the vertex set [vs]. *)
+  val ball_of_set : t -> int list -> int -> bool array
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,3 +1,5 @@
+(* nwlint:disable PERF001 -- Dinic level/iter resets are once per augmenting phase of an offline solver; the phase itself is Theta(n + m) *)
+
 type arc = { dst : int; mutable cap : int; rev : int }
 
 type t = {

@@ -44,6 +44,14 @@ val other_endpoint : t -> int -> int -> int
     parallel edges appear once per edge id. Do not mutate. *)
 val incident : t -> int -> (int * int) array
 
+(** [iter_incident g v f] calls [f neighbor edge_id] for every incident
+    edge of [v], in the {!incident} (ascending edge-id) order. *)
+val iter_incident : t -> int -> (int -> int -> unit) -> unit
+
+(** [fold_incident g v ~init f] folds [f acc neighbor edge_id] in the
+    {!incident} order. *)
+val fold_incident : t -> int -> init:'a -> ('a -> int -> int -> 'a) -> 'a
+
 val degree : t -> int -> int
 val max_degree : t -> int
 

@@ -1,0 +1,45 @@
+(** Generation-stamped scratch arrays.
+
+    The timestamped-workspace discipline for hot query paths: instead of
+    [Array.fill scratch 0 n sentinel] (O(n)) or a rebuilt hash table at
+    the top of every call, keep a [stamp] array beside the data and a
+    running generation counter. [reset] bumps the generation in O(1);
+    entries written under an older generation are simply never read.
+
+    See [docs/data-plane.md] for where these are deployed; nwlint's
+    PERF001 flags raw [Array.fill] resets in [lib/] and points here. *)
+
+(** An [int -> int] partial map over [0 .. n-1] with O(1) clear. *)
+module Ints : sig
+  type t
+
+  val create : int -> t
+
+  (** Current capacity. *)
+  val size : t -> int
+
+  (** [ensure t n] grows capacity to at least [n] (contents cleared). *)
+  val ensure : t -> int -> unit
+
+  (** O(1): everything becomes absent. *)
+  val reset : t -> unit
+
+  val mem : t -> int -> bool
+  val get : t -> int -> default:int -> int
+  val set : t -> int -> int -> unit
+end
+
+(** A vertex/edge membership set over [0 .. n-1] with O(1) clear. *)
+module Marks : sig
+  type t
+
+  val create : int -> t
+  val size : t -> int
+  val ensure : t -> int -> unit
+  val reset : t -> unit
+  val mem : t -> int -> bool
+  val add : t -> int -> unit
+
+  (** Remove a single element (the current generation forgets it). *)
+  val remove : t -> int -> unit
+end

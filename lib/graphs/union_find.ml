@@ -1,3 +1,5 @@
+(* nwlint:disable PERF001 -- [reset] is the documented O(n) reinitialise-everything API, called once per rebuild, not a per-query scratch reset *)
+
 type t = {
   parent : int array;
   rank : int array;

@@ -78,15 +78,48 @@ let collect g ~radius ~rounds =
       in
       { center = v; vertices; edges })
 
-let reference g ~radius v =
-  let vertices = List.sort Int.compare (G.ball g v radius) in
-  let members = Array.make (G.n g) false in
-  List.iter (fun u -> members.(u) <- true) vertices;
+module Scratch = Nw_graphs.Scratch
+
+(* central BFS oracle on generation-stamped scratch: [reference_all]
+   resets in O(ball size) per center instead of allocating two O(n)
+   arrays per query *)
+let reference_into g ~radius v ~dist ~members =
+  Scratch.Ints.reset dist;
+  let q = Queue.create () in
+  Scratch.Ints.set dist v 0;
+  Queue.add v q;
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    let d = Scratch.Ints.get dist u ~default:0 in
+    acc := u :: !acc;
+    if d < radius then
+      G.iter_incident g u (fun w _ ->
+          if not (Scratch.Ints.mem dist w) then begin
+            Scratch.Ints.set dist w (d + 1);
+            Queue.add w q
+          end)
+  done;
+  let vertices = List.sort Int.compare !acc in
+  Scratch.Marks.reset members;
+  List.iter (fun u -> Scratch.Marks.add members u) vertices;
   let edges =
     G.fold_edges
       (fun e a b acc ->
-        if members.(a) && members.(b) then (e, a, b) :: acc else acc)
+        if Scratch.Marks.mem members a && Scratch.Marks.mem members b then
+          (e, a, b) :: acc
+        else acc)
       g []
     |> List.sort compare_edge
   in
   { center = v; vertices; edges }
+
+let reference g ~radius v =
+  let n = G.n g in
+  reference_into g ~radius v ~dist:(Scratch.Ints.create n)
+    ~members:(Scratch.Marks.create n)
+
+let reference_all g ~radius =
+  let n = G.n g in
+  let dist = Scratch.Ints.create n and members = Scratch.Marks.create n in
+  Array.init n (fun v -> reference_into g ~radius v ~dist ~members)

@@ -32,3 +32,8 @@ val collect :
 (** [reference g ~radius v] computes the same ball centrally (BFS); the
     tests check [collect] against it vertex by vertex. *)
 val reference : Nw_graphs.Multigraph.t -> radius:int -> int -> ball
+
+(** [reference_all g ~radius] is [reference] for every vertex, sharing one
+    generation-stamped scratch across the queries (O(ball) reset each,
+    no per-query O(n) allocation). *)
+val reference_all : Nw_graphs.Multigraph.t -> radius:int -> ball array

@@ -1,0 +1,49 @@
+(* nwlint:disable EXN001 -- the fork-join captures worker exceptions as
+   values so every domain is joined before the first failure re-raises;
+   nothing is swallowed *)
+
+(* Round-parallelism configuration and the tiny fork-join primitive the
+   message-passing kernel shards rounds with.
+
+   The domain count is ambient and domain-local (like the fault context
+   and the Obs trace stack): [with_domains k] scopes it, and a net
+   created inside picks it up at creation time. This keeps every
+   algorithm signature unchanged while letting bench/forestd turn on
+   parallel rounds with a flag.
+
+   [run] is a plain spawn/join barrier per call. The kernel uses one
+   barrier per round phase; for the round counts the LOCAL algorithms
+   here execute (O(log n / eps), O(log* n)) the spawn cost is noise next
+   to the per-round edge scan at bench scale. *)
+
+let ambient : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 1)
+
+let available () = !(Domain.DLS.get ambient)
+
+let with_domains k f =
+  if k < 1 then invalid_arg "Dpool.with_domains: need k >= 1";
+  let cell = Domain.DLS.get ambient in
+  let saved = !cell in
+  cell := k;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+(* contiguous vertex shards: shard d owns [fst .. snd - 1] *)
+let split n k =
+  Array.init k (fun d -> (d * n / k, (d + 1) * n / k))
+
+let run ~domains f =
+  if domains <= 1 then f 0
+  else begin
+    let helpers =
+      List.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+    in
+    let here = try Ok (f 0) with e -> Error e in
+    let failures =
+      List.filter_map
+        (fun d -> try Domain.join d; None with e -> Some e)
+        helpers
+    in
+    match (here, failures) with
+    | Ok (), [] -> ()
+    | Error e, _ | Ok (), e :: _ -> raise e
+  end

@@ -1,0 +1,25 @@
+(** Round-parallelism configuration for the LOCAL simulator.
+
+    [Msg_net] shards each round's send/recv phases across this many
+    domains (with a deterministic merge, so results are byte-identical to
+    the sequential path — see [docs/data-plane.md]). The count is ambient
+    and domain-local: nets capture it at creation, exactly like the fault
+    context. Default 1 (fully sequential). *)
+
+(** The ambient domain count ([>= 1]). *)
+val available : unit -> int
+
+(** [with_domains k f] runs [f] with the ambient count set to [k],
+    restoring the previous value afterwards (also on exception).
+    @raise Invalid_argument if [k < 1]. *)
+val with_domains : int -> (unit -> 'a) -> 'a
+
+(** [split n k]: contiguous shards of [0 .. n-1] as [(lo, hi)] pairs,
+    shard [d] owning [lo .. hi - 1]. *)
+val split : int -> int -> (int * int) array
+
+(** [run ~domains f] executes [f 0 .. f (domains - 1)] concurrently
+    ([f 0] on the calling domain) and joins them all; re-raises the first
+    failure after every domain has finished. [domains <= 1] is just
+    [f 0]. *)
+val run : domains:int -> (int -> unit) -> unit

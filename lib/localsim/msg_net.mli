@@ -70,6 +70,70 @@ type fault_stats = {
     by every net created inside. Nests; the inner context wins. *)
 val with_faults : faults -> (unit -> 'a) -> 'a * fault_stats
 
+(** {2 The generic kernel}
+
+    The kernel itself is a functor over the {!Nw_graphs.Graph_sig.GRAPH}
+    data plane: the same round semantics run on the boxed reference plane
+    ([Multigraph]) or the compact CSR plane ([Csr]), byte-identically.
+    Rounds additionally shard across [Dpool.available ()] domains (captured
+    at creation) with a deterministic mailbox merge, so results are
+    byte-identical to the sequential path at any domain count; under an
+    ambient fault context the canonical sequential event order is always
+    used, keeping the fault-timeline digest invariant. See
+    [docs/data-plane.md]. *)
+
+module Make (G : Nw_graphs.Graph_sig.GRAPH) : sig
+  type ('state, 'msg) t
+
+  val create :
+    G.t -> rounds:Rounds.t -> init:(int -> 'state) -> ('state, 'msg) t
+
+  val graph : ('state, 'msg) t -> G.t
+  val state : ('state, 'msg) t -> int -> 'state
+  val set_state : ('state, 'msg) t -> int -> 'state -> unit
+  val states : ('state, 'msg) t -> 'state array
+  val fault_stats : ('state, 'msg) t -> fault_stats option
+
+  val round :
+    ('state, 'msg) t ->
+    label:string ->
+    send:(int -> 'state -> (int * 'msg) list) ->
+    recv:(int -> 'state -> (int * 'msg) list -> 'state) ->
+    unit
+
+  (** Specialised all-incident broadcast round, payload-free: vertices for
+      which [decide] holds send [()] on every incident edge; [recv] sees the
+      count of received messages. Semantically [round] with the synthesised
+      send/recv, but executed directly on the adjacency plane (no
+      per-message allocation). *)
+  val round_count :
+    ('state, unit) t ->
+    label:string ->
+    decide:(int -> 'state -> bool) ->
+    recv:(int -> 'state -> int -> 'state) ->
+    unit
+
+  val messages_delivered : ('state, 'msg) t -> int
+  val rounds_executed : ('state, 'msg) t -> int
+
+  val run_until :
+    ('state, 'msg) t ->
+    label:string ->
+    send:(int -> 'state -> (int * 'msg) list) ->
+    recv:(int -> 'state -> (int * 'msg) list -> 'state) ->
+    halted:(int -> 'state -> bool) ->
+    max_rounds:int ->
+    int
+end
+
+(** {2 The Multigraph-facing API}
+
+    What the algorithms use. [create] consults {!Nw_graphs.Backend.default}:
+    on [Boxed] the net runs on the graph as given; on [Csr] the graph is
+    converted once and the rounds run on the compact plane ([graph] still
+    returns the original). Either way the observable behavior is
+    byte-identical. *)
+
 type ('state, 'msg) t
 
 (** [create g ~rounds ~init] builds a network over [g]; vertex [v] starts in
@@ -102,6 +166,16 @@ val round :
   label:string ->
   send:(int -> 'state -> (int * 'msg) list) ->
   recv:(int -> 'state -> (int * 'msg) list -> 'state) ->
+  unit
+
+(** Payload-free all-incident broadcast round; see {!Make.round_count}.
+    On the boxed backend this executes the exact generic per-message path
+    (the reference baseline); on CSR it streams the adjacency plane. *)
+val round_count :
+  ('state, unit) t ->
+  label:string ->
+  decide:(int -> 'state -> bool) ->
+  recv:(int -> 'state -> int -> 'state) ->
   unit
 
 (** Total messages delivered since creation. *)

@@ -255,6 +255,47 @@ let eng =
          let f g = Nw_core.Forest_algo.partial_color g" );
   ]
 
+(* --- PERF001 / PERF002 -------------------------------------------- *)
+
+let perf =
+  [
+    ( "PERF001 positive: Array.fill scratch reset in lib/",
+      check_fires "PERF001" ~path:"lib/core/fixture.ml"
+        "let f dist = Array.fill dist 0 (Array.length dist) (-1)" );
+    ( "PERF001 positive: qualified through Stdlib",
+      check_fires "PERF001" ~path:"lib/localsim/fixture.ml"
+        "let f a = Stdlib.Array.fill a 0 4 0" );
+    ( "PERF001 negative: outside lib/",
+      check_silent "PERF001" ~path:"bench/fixture.ml"
+        "let f a = Array.fill a 0 4 0" );
+    ( "PERF001 negative: generation-stamped reset",
+      check_silent "PERF001" ~path:"lib/core/fixture.ml"
+        "let f s = Nw_graphs.Scratch.Ints.reset s" );
+    ( "PERF001 suppressed",
+      check_silent "PERF001" ~path:"lib/core/fixture.ml"
+        "(* nwlint:disable PERF001 -- fixture justification *)\n\
+         let f a = Array.fill a 0 4 0" );
+    ( "PERF002 positive: boxed-tuple adjacency plane in lib/",
+      check_fires "PERF002" ~path:"lib/core/fixture.ml"
+        "type t = { adj : (int * int) array array }" );
+    ( "PERF002 positive: bare type alias",
+      check_fires "PERF002" ~path:"lib/decomp/fixture.ml"
+        "type rows = (int * int) array array" );
+    ( "PERF002 negative: flat int rows",
+      check_silent "PERF002" ~path:"lib/core/fixture.ml"
+        "type t = { rows : int array array }" );
+    ( "PERF002 negative: single-level tuple array",
+      check_silent "PERF002" ~path:"lib/core/fixture.ml"
+        "type t = { pairs : (int * int) array }" );
+    ( "PERF002 negative: outside lib/",
+      check_silent "PERF002" ~path:"tools/fixture.ml"
+        "type t = (int * int) array array" );
+    ( "PERF002 suppressed",
+      check_silent "PERF002" ~path:"lib/core/fixture.ml"
+        "(* nwlint:disable PERF002 -- fixture justification *)\n\
+         type t = (int * int) array array" );
+  ]
+
 (* --- suppression hygiene and parse errors ------------------------- *)
 
 let hygiene =
@@ -318,6 +359,7 @@ let () =
       ("exn001", List.map tc exn);
       ("pure001", List.map tc pure);
       ("eng001", List.map tc eng);
+      ("perf", List.map tc perf);
       ("hygiene", List.map tc hygiene);
       ("self-check", [ Alcotest.test_case "repo lib/ is clean" `Quick self_check ]);
     ]

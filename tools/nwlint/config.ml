@@ -118,6 +118,15 @@ let rules =
        Star_forest, Orient, Pseudo_forest composites) are only invokable \
        via the engine (Nw_engine.Run / Pipelines) outside lib/core and \
        lib/engine" );
+    ( "PERF001",
+      Diagnostic.Error,
+      "no O(n) Array.fill-style scratch resets in lib/ hot paths (use \
+       generation-stamped Nw_graphs.Scratch; cold rebuild paths suppress \
+       with justification)" );
+    ( "PERF002",
+      Diagnostic.Error,
+      "no new boxed-tuple adjacency planes ((int * int) array array) in \
+       lib/ — adjacency lives in the Csr/Multigraph backends" );
     ("PARSE001", Diagnostic.Error, "source file failed to parse");
     ( "SUPP001",
       Diagnostic.Error,

@@ -280,6 +280,20 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
       | _ -> ()
   in
 
+  (* --- PERF001 ------------------------------------------------- *)
+  (* O(n) scratch resets in lib/ hot paths: the data-plane discipline is
+     generation-stamped scratch (Nw_graphs.Scratch), where reset is a
+     counter bump. Cold rebuild paths suppress with a justification. *)
+  let check_perf1 ~loc segs =
+    if scope.in_lib && segs = [ "Array"; "fill" ] then
+      add ~loc "PERF001" Error
+        "O(n) `Array.fill` scratch reset in lib/"
+        (Some
+           "reset scratch via generation stamps (Nw_graphs.Scratch, O(1) \
+            reset); if this is a genuinely cold rebuild path, suppress \
+            with a justification")
+  in
+
   (* --- LEDGER001 ----------------------------------------------- *)
   let is_rounds_charge segs =
     match List.rev segs with
@@ -441,6 +455,39 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
           self#in_span (fun () -> super#value_binding vb)
         else super#value_binding vb
 
+      (* --- PERF002 ------------------------------------------------ *)
+      (* a new boxed-tuple adjacency plane ((int * int) array array, or
+         wider int tuples) reintroduces the pointer-chasing data plane
+         the CSR backend exists to replace *)
+      method! core_type ct =
+        (if scope.in_lib then
+           let is_int c =
+             match c.ptyp_desc with
+             | Ptyp_constr ({ txt = Lident "int"; _ }, []) -> true
+             | _ -> false
+           in
+           match ct.ptyp_desc with
+           | Ptyp_constr ({ txt = Lident "array"; _ }, [ inner1 ]) -> (
+               match inner1.ptyp_desc with
+               | Ptyp_constr ({ txt = Lident "array"; _ }, [ inner2 ]) -> (
+                   match inner2.ptyp_desc with
+                   | Ptyp_tuple comps
+                     when List.length comps >= 2 && List.for_all is_int comps
+                     ->
+                       add ~loc:ct.ptyp_loc "PERF002" Error
+                         "boxed-tuple adjacency plane type `(int * int) \
+                          array array` in lib/"
+                         (Some
+                            "adjacency planes belong to the graph \
+                             backends: use Nw_graphs.Csr (flat Bigarray \
+                             planes, packed neighbor/edge ints) or the \
+                             sanctioned Multigraph reference plane \
+                             instead of a new boxed plane")
+                   | _ -> ())
+               | _ -> ())
+           | _ -> ());
+        super#core_type ct
+
       method! expression e =
         if has_span_attr e.pexp_attributes then
           self#in_span (fun () -> self#expression_inner e)
@@ -454,7 +501,8 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
             check_det1 ~loc segs;
             check_det2_bare ~loc segs;
             check_io ~loc segs;
-            check_eng1 ~loc segs
+            check_eng1 ~loc segs;
+            check_perf1 ~loc segs
         | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
             let segs = expand_lid txt in
             check_det2_eq ~loc (dotted segs) args;
