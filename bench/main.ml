@@ -245,6 +245,22 @@ end
 (* experiments skipped under --quick: the two that dominate a full run *)
 let slow_experiments = [ "e9"; "e15" ]
 
+(* per-experiment resource attribution: Gc.quick_stat deltas on the
+   running domain plus the Dpool accumulators for whatever helper
+   domains allocated during parallel rounds (invisible to this domain's
+   quick_stat). top_heap is the process high-water mark at the end of
+   the experiment, not a delta. *)
+type resources = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  top_heap_words : int;
+  worker_minor_words : int;
+  worker_major_words : int;
+}
+
 type record = {
   name : string;
   desc : string;
@@ -254,6 +270,7 @@ type record = {
   uf_queries : int;
   bfs_runs : int;
   uf_rebuilds : int;
+  resources : resources;
   failed : string option;
   trace : Obs.trace; (* empty unless --trace/--metrics enabled recording *)
 }
@@ -269,6 +286,9 @@ let run_one (name, desc, run) =
   let module C = Nw_decomp.Coloring.Counters in
   let c0 = C.snapshot () in
   let r0 = Exp_common.domain_rounds_baseline () in
+  let s0 = Gc.quick_stat () in
+  let w0_minor = Nw_localsim.Dpool.worker_minor_words () in
+  let w0_major = Nw_localsim.Dpool.worker_major_words () in
   let t0 = Unix.gettimeofday () in
   let run_guarded () =
     try
@@ -299,6 +319,7 @@ let run_one (name, desc, run) =
   in
   let t1 = Unix.gettimeofday () in
   let c1 = C.snapshot () in
+  let s1 = Gc.quick_stat () in
   {
     name;
     desc;
@@ -308,6 +329,17 @@ let run_one (name, desc, run) =
     uf_queries = c1.C.uf_queries - c0.C.uf_queries;
     bfs_runs = c1.C.bfs_runs - c0.C.bfs_runs;
     uf_rebuilds = c1.C.uf_rebuilds - c0.C.uf_rebuilds;
+    resources =
+      {
+        minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+        major_words = s1.Gc.major_words -. s0.Gc.major_words;
+        promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+        minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+        major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+        top_heap_words = s1.Gc.top_heap_words;
+        worker_minor_words = Nw_localsim.Dpool.worker_minor_words () - w0_minor;
+        worker_major_words = Nw_localsim.Dpool.worker_major_words () - w0_major;
+      };
     failed;
     trace;
   }
@@ -458,6 +490,16 @@ let write_json ~quick ~domains ~env r =
     \    \"bfs_runs\": %d,\n\
     \    \"uf_rebuilds\": %d\n\
     \  },\n\
+    \  \"resources\": {\n\
+    \    \"minor_words\": %.0f,\n\
+    \    \"major_words\": %.0f,\n\
+    \    \"promoted_words\": %.0f,\n\
+    \    \"minor_collections\": %d,\n\
+    \    \"major_collections\": %d,\n\
+    \    \"top_heap_words\": %d,\n\
+    \    \"worker_minor_words\": %d,\n\
+    \    \"worker_major_words\": %d\n\
+    \  },\n\
     \  \"phases\": %s,\n\
     \  \"failed\": %s\n\
      }\n"
@@ -482,6 +524,10 @@ let write_json ~quick ~domains ~env r =
     env.stamped_at
     (if domains > 1 then "process-wide" else "exact")
     r.wall_s r.charged_rounds r.uf_queries r.bfs_runs r.uf_rebuilds
+    r.resources.minor_words r.resources.major_words
+    r.resources.promoted_words r.resources.minor_collections
+    r.resources.major_collections r.resources.top_heap_words
+    r.resources.worker_minor_words r.resources.worker_major_words
     (phases_json r.trace)
     (match r.failed with
     | None -> "null"

@@ -10,7 +10,9 @@
    charged_rounds total (the invariant behind docs/benchmarking.md's
    "phases" table). `--trace FILE` additionally validates a Chrome
    trace_event export: a traceEvents array of named complete events
-   with numeric ts/dur. Exits nonzero on the first violation. *)
+   with numeric ts/dur. `--flight FILE` validates an nw-flight/1
+   post-mortem dump from the flight recorder. Exits nonzero on the
+   first violation. *)
 
 module J = Nw_obs.Json_lite
 
@@ -139,6 +141,33 @@ let check_throughput file json =
         legs
   | Some _ -> fail file "field \"throughput\" must be an array when present"
 
+(* additive nw-bench/2 field: per-experiment GC/allocator attribution
+   captured as quick_stat deltas around the measured run (plus the
+   Dpool worker accumulators for helper-domain allocation). Old
+   records without it stay valid; when present every field must be a
+   number — top_heap_words is the high-water mark at experiment end,
+   not a delta, but it is numeric all the same. *)
+let resources_fields =
+  [
+    "minor_words";
+    "major_words";
+    "promoted_words";
+    "minor_collections";
+    "major_collections";
+    "top_heap_words";
+    "worker_minor_words";
+    "worker_major_words";
+  ]
+
+let check_resources file json =
+  match J.member "resources" json with
+  | None -> ()
+  | Some (J.Obj _ as res) ->
+      List.iter
+        (fun f -> check_field file res (f, shape_number))
+        resources_fields
+  | Some _ -> fail file "field \"resources\" must be an object when present"
+
 (* nw-bench/2 invariant: phase self-rounds (including the trailing
    "(unattributed)" bucket) sum to the flat charged_rounds total *)
 let check_phases file json =
@@ -182,7 +211,8 @@ let check_bench file =
           check_connectivity file json;
           check_env file json;
           check_phases file json;
-          check_throughput file json
+          check_throughput file json;
+          check_resources file json
       | Some other -> fail file "unknown schema %S" other
       | None -> fail file "missing schema tag")
 
@@ -210,29 +240,132 @@ let check_trace file =
             events
       | _ -> fail file "missing traceEvents array")
 
+(* nw-flight/1 post-mortem dumps (docs/observability.md): a dump must
+   name why it was written, stamp its environment, lift the latest mark
+   per name into "last", and carry per-domain ring snapshots whose
+   events are tagged open/close/count/charge/mark with the per-kind
+   payload. This is the round-trip half of the flight-recorder smoke
+   leg: Flight.render emits it, this parser re-reads it. *)
+let check_flight_event file i j ev =
+  let where = Printf.sprintf "domain %d event %d" i j in
+  if not (shape_obj ev) then fail file "%s is not an object" where
+  else begin
+    (match Option.bind (J.member "t_us" ev) J.to_float with
+    | Some t when t >= 0.0 -> ()
+    | _ -> fail file "%s: t_us missing or negative" where);
+    let str f = Option.bind (J.member f ev) J.to_string in
+    let num f = Option.bind (J.member f ev) J.to_float in
+    let need_name () =
+      match str "name" with
+      | Some "" | None -> fail file "%s: unnamed" where
+      | Some _ -> ()
+    in
+    match str "ev" with
+    | Some "open" -> need_name ()
+    | Some "close" ->
+        need_name ();
+        (match num "dur_us" with
+        | Some d when d >= 0.0 -> ()
+        | _ -> fail file "%s: close without nonneg dur_us" where);
+        if num "rounds" = None then fail file "%s: close without rounds" where
+    | Some "count" ->
+        need_name ();
+        if num "delta" = None then fail file "%s: count without delta" where
+    | Some "charge" ->
+        (match str "label" with
+        | Some "" | None -> fail file "%s: charge without label" where
+        | Some _ -> ());
+        if num "rounds" = None then fail file "%s: charge without rounds" where
+    | Some "mark" ->
+        need_name ();
+        (match J.member "fields" ev with
+        | Some (J.Obj _) -> ()
+        | _ -> fail file "%s: mark without a fields object" where)
+    | Some other -> fail file "%s: unknown event tag %S" where other
+    | None -> fail file "%s: missing event tag \"ev\"" where
+  end
+
+let check_flight file =
+  match J.parse (read_file file) with
+  | exception J.Parse_error msg -> fail file "invalid JSON: %s" msg
+  | exception Sys_error msg -> fail file "unreadable: %s" msg
+  | json -> (
+      match Option.bind (J.member "schema" json) J.to_string with
+      | Some "nw-flight/1" ->
+          List.iter (check_field file json)
+            [
+              ("reason", shape_string);
+              ("seq", shape_number);
+              ("clock", shape_string);
+              ("env", shape_obj);
+              ("rings_dropped", shape_number);
+            ];
+          (match J.member "last" json with
+          | Some (J.Obj marks) ->
+              List.iter
+                (fun (name, m) ->
+                  if not (shape_obj m) then
+                    fail file "last mark %S is not an object" name
+                  else begin
+                    check_field file m ("t_us", shape_number);
+                    match J.member "fields" m with
+                    | Some (J.Obj fields) ->
+                        List.iter
+                          (fun (k, v) ->
+                            if not (shape_string v) then
+                              fail file "last mark %S field %S is not a string"
+                                name k)
+                          fields
+                    | _ ->
+                        fail file "last mark %S without a fields object" name
+                  end)
+                marks
+          | _ -> fail file "missing \"last\" object");
+          (match J.member "domains" json with
+          | Some (J.List doms) ->
+              List.iteri
+                (fun i d ->
+                  if not (shape_obj d) then
+                    fail file "domain %d is not an object" i
+                  else begin
+                    check_field file d ("tid", shape_number);
+                    check_field file d ("dropped", shape_number);
+                    match J.member "events" d with
+                    | Some (J.List evs) ->
+                        List.iteri (check_flight_event file i) evs
+                    | _ -> fail file "domain %d without an events array" i
+                  end)
+                doms
+          | _ -> fail file "missing \"domains\" array")
+      | Some other -> fail file "unknown flight schema %S" other
+      | None -> fail file "missing schema tag")
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse traces benches = function
-    | "--trace" :: file :: rest -> parse (file :: traces) benches rest
-    | [ "--trace" ] ->
-        prerr_endline "validate_bench_json: --trace expects a file";
+  let rec parse traces flights benches = function
+    | "--trace" :: file :: rest -> parse (file :: traces) flights benches rest
+    | "--flight" :: file :: rest -> parse traces (file :: flights) benches rest
+    | [ ("--trace" | "--flight") as flag ] ->
+        Printf.eprintf "validate_bench_json: %s expects a file\n" flag;
         exit 2
-    | file :: rest -> parse traces (file :: benches) rest
-    | [] -> (List.rev traces, List.rev benches)
+    | file :: rest -> parse traces flights (file :: benches) rest
+    | [] -> (List.rev traces, List.rev flights, List.rev benches)
   in
-  let traces, benches = parse [] [] args in
-  if traces = [] && benches = [] then begin
+  let traces, flights, benches = parse [] [] [] args in
+  if traces = [] && flights = [] && benches = [] then begin
     prerr_endline
-      "usage: validate_bench_json [--trace TRACE.json] BENCH_*.json ...";
+      "usage: validate_bench_json [--trace TRACE.json] [--flight FLIGHT.json] \
+       BENCH_*.json ...";
     exit 2
   end;
   List.iter check_trace traces;
+  List.iter check_flight flights;
   List.iter check_bench benches;
+  let total = List.length traces + List.length flights + List.length benches in
   if !failures > 0 then begin
     Printf.eprintf "validate_bench_json: %d violation%s\n" !failures
       (if !failures = 1 then "" else "s");
     exit 1
   end;
-  Printf.printf "validate_bench_json: %d file%s ok\n"
-    (List.length traces + List.length benches)
-    (if List.length traces + List.length benches = 1 then "" else "s")
+  Printf.printf "validate_bench_json: %d file%s ok\n" total
+    (if total = 1 then "" else "s")

@@ -15,6 +15,10 @@ module Rounds = Nw_localsim.Rounds
 module Coloring = Nw_decomp.Coloring
 module Verify = Nw_decomp.Verify
 module Obs = Nw_obs.Obs
+module Flight = Nw_obs.Flight
+module Prometheus = Nw_obs.Prometheus
+module Metrics_server = Nw_obs.Metrics_server
+module Jmit = Nw_obs.Json_lite.Emit
 module Plan = Nw_chaos.Plan
 module Registry = Nw_engine.Registry
 module Engine = Nw_engine.Engine
@@ -190,7 +194,7 @@ let report_coloring ?(star = false) g coloring rounds =
   | Some r -> Format.printf "%a@." Rounds.pp r
 
 let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
-    chaos chaos_seed backend domains =
+    chaos chaos_seed backend domains flight serve_metrics =
   Nw_graphs.Backend.set_default backend;
   Nw_localsim.Dpool.with_domains domains @@ fun () ->
   let g = Io.read_edge_list path in
@@ -203,7 +207,11 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
   Format.printf "graph: %a, alpha = %d, eps = %g, backend = %s@." G.pp g alpha
     epsilon
     (Nw_graphs.Backend.to_string backend);
-  if trace <> None || metrics then Obs.set_enabled true;
+  (* the flight recorder and metrics server piggyback on the Obs stream;
+     neither changes what goes to stdout, so fault-free output stays
+     byte-identical to a plain invocation *)
+  if trace <> None || metrics || flight <> None || serve_metrics <> None then
+    Obs.set_enabled true;
   (* an empty --chaos plan compiles to None: no hooks, output identical
      to a chaos-free invocation *)
   let faults =
@@ -215,13 +223,64 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
           (Nw_chaos.Inject.compile plan ~seed:chaos_seed ())
   in
   let algo_name = algorithm.Registry.name in
+  let pipeline =
+    algorithm.Registry.build { Registry.graph = g; epsilon; alpha }
+  in
+  (match flight with
+  | None -> ()
+  | Some file ->
+      Flight.set_enabled true;
+      let registry, registry_hash = Registry.stamp () in
+      let env =
+        [
+          ("graph", path);
+          ("algorithm", algo_name);
+          ("epsilon", string_of_float epsilon);
+          ("seed", string_of_int seed);
+          ("backend", Nw_graphs.Backend.to_string backend);
+          ("domains", string_of_int domains);
+          ("registry", registry);
+          ("registry_hash", registry_hash);
+          ("pipeline", pipeline.Engine.pl_name);
+          ("pipeline_hash", Engine.digest pipeline);
+        ]
+        @
+        match faults with
+        | Some (plan, _) ->
+            [
+              ("fault_plan", Plan.digest plan);
+              ("fault_summary", Plan.summary plan);
+              ("chaos_seed", string_of_int chaos_seed);
+            ]
+        | None -> []
+      in
+      Flight.set_sink ~env file);
+  (* --serve-metrics: a Unix-socket endpoint on its own domain serving
+     whatever snapshot was last published; snapshots are published at
+     every pass boundary and once more when the run completes *)
+  let published = Atomic.make "" in
+  (match serve_metrics with
+  | None -> ()
+  | Some sock ->
+      let srv = Metrics_server.start ~path:sock (fun () -> Atomic.get published) in
+      at_exit (fun () -> Metrics_server.stop srv));
+  let publish_live () =
+    if serve_metrics <> None then
+      Atomic.set published (Prometheus.to_string [ Obs.live_snapshot () ])
+  in
   (* under fault injection a failing run is an expected, machine-consumable
      outcome: one JSON line on stderr, exit code 3 (distinct from
-     cmdliner's 1/2/124/125 and from the fault-free paths) *)
+     cmdliner's 1/2/124/125 and from the fault-free paths). NB %S is
+     OCaml escaping, not JSON — strings go through Json_lite.Emit. *)
   let chaos_diagnostic ~error ~detail plan =
     Printf.eprintf
-      "{\"error\":%S,\"algorithm\":%S,\"chaos\":%S,\"chaos_seed\":%d,\"detail\":%S}\n"
-      error algo_name (Plan.to_string plan) chaos_seed detail;
+      "{\"error\":%s,\"algorithm\":%s,\"chaos\":%s,\"chaos_seed\":%d,\"detail\":%s}\n"
+      (Jmit.string_value error) (Jmit.string_value algo_name)
+      (Jmit.string_value (Plan.to_string plan))
+      chaos_seed (Jmit.string_value detail);
+    Flight.mark "forestd.exit"
+      [ ("error", error); ("detail", detail); ("code", "3") ];
+    Flight.trigger ~reason:error ();
     exit 3
   in
   (* the registry entry's pipeline does the algorithmic work; what remains
@@ -230,10 +289,17 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
     Obs.collect @@ fun () ->
     Obs.span "decompose" @@ fun () ->
     let rounds = Rounds.create () in
-    let pipeline = algorithm.Registry.build { Registry.graph = g; epsilon; alpha } in
     let ctx = Engine.ctx ~rng ~rounds in
     let init = EStore.put EStore.empty "graph" (Artifact.Graph g) in
-    let store = Engine.run ctx pipeline ~init in
+    (* pass-boundary checkpoints feed the flight recorder's
+       "last checkpoint" mark and the metrics publisher; without either
+       consumer the engine takes no snapshots at all *)
+    let checkpoint =
+      if flight <> None || serve_metrics <> None then
+        Some (fun (_ : Engine.checkpoint) -> publish_live ())
+      else None
+    in
+    let store = Engine.run ?checkpoint ctx pipeline ~init in
     let rounds_opt =
       if algorithm.Registry.reports_rounds then Some rounds else None
     in
@@ -288,6 +354,8 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
           stats.Nw_localsim.Msg_net.reorders stats.Nw_localsim.Msg_net.digest;
         r
   in
+  if serve_metrics <> None then
+    Atomic.set published (Prometheus.to_string [ obs_trace ]);
   if metrics && not (Obs.is_empty obs_trace) then
     Format.printf "%a@?" Obs.pp_summary obs_trace;
   (match trace with
@@ -415,11 +483,113 @@ let decompose_cmd =
             "Shard each LOCAL round across K domains. Results, round \
              ledgers, and chaos digests are byte-identical to K=1.")
   in
+  let flight =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"FILE"
+          ~doc:
+            "Arm the bounded flight recorder: on a pass failure, a \
+             chaos-invalid outcome, or any exit-3 diagnostic, dump a \
+             self-contained nw-flight/1 JSON post-mortem (recent span/\
+             counter/charge events per domain, env stamp, pipeline hash, \
+             fault-plan digest, last checkpoint) to FILE. Fault-free \
+             stdout is byte-identical to running without the flag.")
+  in
+  let serve_metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve-metrics" ] ~docv:"SOCK"
+          ~doc:
+            "Serve the live Obs counter/histogram registry in Prometheus \
+             text format over a Unix socket at SOCK for the duration of \
+             the run (scrape with curl --unix-socket SOCK \
+             http://localhost/). Snapshots refresh at every pass \
+             boundary.")
+  in
   Cmd.v
     (Cmd.info "decompose" ~doc:"Run a decomposition algorithm on a graph.")
     Term.(
       const decompose $ graph_pos $ algorithm $ epsilon_arg $ seed_arg $ alpha
-      $ dot $ save $ trace $ metrics $ chaos $ chaos_seed $ backend $ domains)
+      $ dot $ save $ trace $ metrics $ chaos $ chaos_seed $ backend $ domains
+      $ flight $ serve_metrics)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* run a decomposition with Obs on and print the Prometheus text
+   exposition of the finished trace — the one-shot, pipeable face of the
+   same rendering --serve-metrics serves over a socket *)
+let stats_run path algorithm epsilon seed alpha_opt backend domains =
+  Nw_graphs.Backend.set_default backend;
+  Nw_localsim.Dpool.with_domains domains @@ fun () ->
+  let g = Io.read_edge_list path in
+  let rng = Random.State.make [| seed |] in
+  let alpha =
+    match alpha_opt with
+    | Some a -> a
+    | None -> fst (Nw_baseline.Gabow_westermann.arboricity g)
+  in
+  Obs.set_enabled true;
+  let (), t =
+    Obs.collect @@ fun () ->
+    Obs.span "decompose" @@ fun () ->
+    let rounds = Rounds.create () in
+    let pipeline =
+      algorithm.Registry.build { Registry.graph = g; epsilon; alpha }
+    in
+    let ctx = Engine.ctx ~rng ~rounds in
+    let init = EStore.put EStore.empty "graph" (Artifact.Graph g) in
+    ignore (Engine.run ctx pipeline ~init)
+  in
+  print_string (Prometheus.to_string [ t ])
+
+let stats_cmd =
+  let algorithm =
+    let default =
+      match Registry.find "augment" with Some e -> e | None -> assert false
+    in
+    Arg.(
+      value
+      & opt algorithm_conv default
+      & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"Algorithm to run.")
+  in
+  let alpha =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:"Arboricity bound (computed exactly when omitted).")
+  in
+  let backend =
+    let backend_conv =
+      Arg.enum
+        (List.map
+           (fun k -> (Nw_graphs.Backend.to_string k, k))
+           Nw_graphs.Backend.all)
+    in
+    Arg.(
+      value
+      & opt backend_conv Nw_graphs.Backend.Boxed
+      & info [ "backend" ] ~docv:"PLANE"
+          ~doc:"Data plane for the message-passing kernels (boxed | csr).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"K"
+          ~doc:"Shard each LOCAL round across K domains.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a decomposition and print its Obs registry (counters, \
+          histograms, per-pass aggregates) in Prometheus text format.")
+    Term.(
+      const stats_run $ graph_pos $ algorithm $ epsilon_arg $ seed_arg $ alpha
+      $ backend $ domains)
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -522,4 +692,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "forestd" ~doc)
-          [ generate_cmd; info_cmd; decompose_cmd; verify_cmd; list_cmd ]))
+          [
+            generate_cmd;
+            info_cmd;
+            decompose_cmd;
+            stats_cmd;
+            verify_cmd;
+            list_cmd;
+          ]))

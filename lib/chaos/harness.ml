@@ -18,6 +18,7 @@
 
 module Msg_net = Nw_localsim.Msg_net
 module Obs = Nw_obs.Obs
+module Flight = Nw_obs.Flight
 
 type outcome =
   | Valid
@@ -96,6 +97,25 @@ let pow x k =
   let rec go acc k = if k <= 0 then acc else go (acc *. x) (k - 1) in
   go 1.0 k
 
+(* post-mortem beacon for every non-Valid attempt: the dump's "last"
+   object then names the epoch, the verdict, and the fault-plan digest
+   alongside whatever the engine marked (failing pass, checkpoint) *)
+let flight_note ~plan ~epoch ~attempt outcome counts =
+  match outcome with
+  | Valid -> ()
+  | Detectably_invalid msg | Silently_corrupt msg ->
+      let label = outcome_label outcome in
+      Flight.mark "chaos.epoch"
+        [
+          ("epoch", string_of_int epoch);
+          ("attempt", string_of_int attempt);
+          ("outcome", label);
+          ("error", msg);
+          ("fault_plan", Plan.digest plan);
+          ("fault_digest", Int64.to_string counts.digest);
+        ];
+      Flight.trigger ~reason:("epoch-" ^ label) ()
+
 let run_epochs ~plan ~seed ~epochs ?(policy = default_policy) ~verify ~run ()
     =
   let root = Rng.create ~seed in
@@ -118,6 +138,7 @@ let run_epochs ~plan ~seed ~epochs ?(policy = default_policy) ~verify ~run ()
     let epoch_seed = Rng.to_seed (Rng.split root e) in
     let rec go attempt acc =
       let a = run_attempt ~epoch_seed ~attempt in
+      flight_note ~plan ~epoch:e ~attempt a.outcome a.counts;
       let acc = a :: acc in
       match a.outcome with
       | Valid -> (List.rev acc, attempt > 0)
@@ -183,6 +204,7 @@ let run_epochs_resumable ~plan ~seed ~epochs ?(policy = default_policy)
     let ck = ref None in
     let rec go attempt acc =
       let a = run_attempt ~epoch_seed ~attempt ~ck in
+      flight_note ~plan ~epoch:e ~attempt a.outcome a.counts;
       let acc = a :: acc in
       match a.outcome with
       | Valid -> (List.rev acc, attempt > 0)

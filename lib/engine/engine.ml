@@ -1,5 +1,7 @@
 module Rounds = Nw_localsim.Rounds
+module Dpool = Nw_localsim.Dpool
 module Obs = Nw_obs.Obs
+module Flight = Nw_obs.Flight
 
 exception Engine_error of string
 
@@ -66,18 +68,71 @@ let run ?resume ?checkpoint ctx pipeline ~init =
           ~attrs:
             [ ("pipeline", Obs.Str pipeline.pl_name); ("index", Obs.Int i) ]
         @@ fun () ->
-        check_bindings ~pipeline:pipeline.pl_name ~pass:p.name ~what:"input"
-          !store p.reads;
+        (* resource attribution: quick_stat deltas on this domain plus
+           the Dpool accumulators for helper-domain allocation. Guarded
+           by the Obs switch so disabled runs stay zero-cost, and
+           carried as span attrs so BENCH phase records are unchanged. *)
+        let res0 =
+          if Obs.enabled () then
+            Some
+              ( Gc.quick_stat (),
+                Dpool.worker_minor_words (),
+                Dpool.worker_major_words () )
+          else None
+        in
         let before = Rounds.total ctx.rounds in
-        let out = p.run ctx !store in
+        let out =
+          try
+            check_bindings ~pipeline:pipeline.pl_name ~pass:p.name
+              ~what:"input" !store p.reads;
+            let out = p.run ctx !store in
+            check_bindings ~pipeline:pipeline.pl_name ~pass:p.name
+              ~what:"output" out p.writes;
+            out
+          with e ->
+            (* post-mortem before the span unwinds: name the failing
+               pass, then flush the flight recorder if a sink is armed *)
+            Flight.mark "engine.pass_failed"
+              [
+                ("pipeline", pipeline.pl_name);
+                ("pass", p.name);
+                ("index", string_of_int i);
+                ("error", Printexc.to_string e);
+              ];
+            Flight.trigger ~reason:"pass-failed" ();
+            raise e
+        in
         Obs.set_attr "pass_rounds"
           (Obs.Int (Rounds.total ctx.rounds - before));
-        check_bindings ~pipeline:pipeline.pl_name ~pass:p.name ~what:"output"
-          out p.writes;
+        (match res0 with
+        | None -> ()
+        | Some (s0, wmin0, wmaj0) ->
+            let s1 = Gc.quick_stat () in
+            Obs.set_attr "pass_minor_words"
+              (Obs.Float (s1.Gc.minor_words -. s0.Gc.minor_words));
+            Obs.set_attr "pass_major_words"
+              (Obs.Float (s1.Gc.major_words -. s0.Gc.major_words));
+            Obs.set_attr "pass_promoted_words"
+              (Obs.Float (s1.Gc.promoted_words -. s0.Gc.promoted_words));
+            Obs.set_attr "pass_minor_collections"
+              (Obs.Int (s1.Gc.minor_collections - s0.Gc.minor_collections));
+            Obs.set_attr "pass_major_collections"
+              (Obs.Int (s1.Gc.major_collections - s0.Gc.major_collections));
+            Obs.set_attr "top_heap_words" (Obs.Int s1.Gc.top_heap_words);
+            Obs.set_attr "pass_worker_minor_words"
+              (Obs.Int (Dpool.worker_minor_words () - wmin0));
+            Obs.set_attr "pass_worker_major_words"
+              (Obs.Int (Dpool.worker_major_words () - wmaj0)));
         store := out;
         match checkpoint with
         | None -> ()
         | Some save ->
+            Flight.mark "engine.checkpoint"
+              [
+                ("pipeline", pipeline.pl_name);
+                ("pass", p.name);
+                ("id", Printf.sprintf "%s#%d" pipeline.pl_name (i + 1));
+              ];
             save
               {
                 ck_pipeline = pipeline.pl_name;

@@ -31,11 +31,34 @@ let with_domains k f =
 let split n k =
   Array.init k (fun d -> (d * n / k, (d + 1) * n / k))
 
+(* Helper-domain allocation accounting. Gc.quick_stat on the spawning
+   domain only sees its own minor/major words: whatever the helpers
+   allocate during a parallel round would vanish from per-pass resource
+   attribution. Each helper thunk deltas its own quick_stat and folds
+   the words into these process-wide accumulators; the engine reads the
+   before/after difference at pass boundaries. Monotonic counters, so
+   concurrent readers only ever under-count an in-flight round. *)
+let worker_minor = Atomic.make 0
+let worker_major = Atomic.make 0
+let worker_minor_words () = Atomic.get worker_minor
+let worker_major_words () = Atomic.get worker_major
+
+let accounted f d =
+  let s0 = Gc.quick_stat () in
+  Fun.protect
+    ~finally:(fun () ->
+      let s1 = Gc.quick_stat () in
+      let add acc w = ignore (Atomic.fetch_and_add acc (int_of_float w)) in
+      add worker_minor (s1.Gc.minor_words -. s0.Gc.minor_words);
+      add worker_major (s1.Gc.major_words -. s0.Gc.major_words))
+    (fun () -> f d)
+
 let run ~domains f =
   if domains <= 1 then f 0
   else begin
     let helpers =
-      List.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+      List.init (domains - 1) (fun i ->
+          Domain.spawn (fun () -> accounted f (i + 1)))
     in
     let here = try Ok (f 0) with e -> Error e in
     let failures =

@@ -23,3 +23,14 @@ val split : int -> int -> (int * int) array
     failure after every domain has finished. [domains <= 1] is just
     [f 0]. *)
 val run : domains:int -> (int -> unit) -> unit
+
+(** {1 Helper-domain allocation accounting}
+
+    [Gc.quick_stat] deltas on the calling domain miss whatever spawned
+    helpers allocate. Every helper launched by {!run} folds its own
+    minor/major allocated words into process-wide monotonic
+    accumulators; per-pass resource attribution reads the before/after
+    difference at pass boundaries. *)
+
+val worker_minor_words : unit -> int
+val worker_major_words : unit -> int

@@ -203,3 +203,35 @@ let to_int = function
 
 let to_bool = function Bool b -> Some b | _ -> None
 let to_list = function List l -> Some l | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* emission                                                            *)
+
+(* shared JSON string emission so every writer in the tree (Obs
+   exporters, the flight recorder, forestd diagnostics) escapes
+   identically — and identically to what [parse] above accepts *)
+module Emit = struct
+  let escape b s =
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | ch when Char.code ch < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+        | ch -> Buffer.add_char b ch)
+      s
+
+  let string b s =
+    Buffer.add_char b '"';
+    escape b s;
+    Buffer.add_char b '"'
+
+  let string_value s =
+    let b = Buffer.create (String.length s + 8) in
+    string b s;
+    Buffer.contents b
+end

@@ -25,3 +25,20 @@ val to_float : t -> float option
 val to_int : t -> int option
 val to_bool : t -> bool option
 val to_list : t -> t list option
+
+(** {1 Emission}
+
+    The one JSON string-escaper shared by every writer in the tree (the
+    Obs exporters, the flight recorder, CLI diagnostics), guaranteed to
+    round-trip through {!parse}. OCaml's [%S] is {e not} JSON (it emits
+    decimal [\001]-style escapes); use these instead. *)
+module Emit : sig
+  (** Append the escaped string body (no surrounding quotes). *)
+  val escape : Buffer.t -> string -> unit
+
+  (** Append the string as a quoted JSON string literal. *)
+  val string : Buffer.t -> string -> unit
+
+  (** [string_value s] is the quoted JSON literal as a string. *)
+  val string_value : string -> string
+end

@@ -1,0 +1,97 @@
+(* Minimal Unix-domain-socket metrics endpoint.
+
+   [start ~path provider] binds a listening socket at [path] and serves
+   every connection a one-shot HTTP/1.0 response whose body is
+   [provider ()] — in practice a Prometheus rendering of the live Obs
+   registry. The accept loop runs on its own domain. [stop] raises a
+   stop flag, shuts the listener down, and dials one wake-up connection
+   (a domain blocked in accept(2) does NOT wake when another domain
+   merely closes the fd), then joins the domain and unlinks the socket
+   file.
+
+   The provider runs on the server domain: callers hand it either an
+   immutable snapshot published through an [Atomic] (forestd does this
+   at pass boundaries) or a function over their own domain-safe state.
+   Scrape with e.g. [curl --unix-socket /tmp/nw.sock http://localhost/]. *)
+
+type t = {
+  srv_fd : Unix.file_descr;
+  srv_path : string;
+  srv_domain : unit Domain.t;
+  srv_stop : bool Atomic.t;
+}
+
+let unlink_existing path =
+  try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | 0 -> ()
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+  in
+  go 0
+
+let serve_client provider client =
+  let finish () = try Unix.close client with Unix.Unix_error _ -> () in
+  Fun.protect ~finally:finish (fun () ->
+      (* drain one request read so well-behaved HTTP clients see their
+         request accepted before the response lands; EOF (0) is fine *)
+      let buf = Bytes.create 1024 in
+      (match Unix.read client buf 0 (Bytes.length buf) with
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      let body = provider () in
+      let resp =
+        Printf.sprintf
+          "HTTP/1.0 200 OK\r\n\
+           Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+           Content-Length: %d\r\n\
+           Connection: close\r\n\
+           \r\n\
+           %s"
+          (String.length body) body
+      in
+      try write_all client resp
+      with Unix.Unix_error _ -> ())
+
+let start ~path provider =
+  unlink_existing path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  let stop_flag = Atomic.make false in
+  let rec loop () =
+    if not (Atomic.get stop_flag) then
+      match Unix.accept fd with
+      | client, _ ->
+          if Atomic.get stop_flag then
+            (try Unix.close client with Unix.Unix_error _ -> ())
+          else serve_client provider client;
+          loop ()
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          (* listener shut down; exit *)
+          ()
+  in
+  let srv_domain = Domain.spawn loop in
+  { srv_fd = fd; srv_path = path; srv_domain; srv_stop = stop_flag }
+
+let stop t =
+  Atomic.set t.srv_stop true;
+  (* wake a blocked accept: shutdown the listener, then dial it once *)
+  (try Unix.shutdown t.srv_fd Unix.SHUTDOWN_ALL
+   with Unix.Unix_error _ -> ());
+  (match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | c ->
+      (try Unix.connect c (Unix.ADDR_UNIX t.srv_path)
+       with Unix.Unix_error _ -> ());
+      (try Unix.close c with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ());
+  Domain.join t.srv_domain;
+  (try Unix.close t.srv_fd with Unix.Unix_error _ -> ());
+  unlink_existing t.srv_path

@@ -1,0 +1,19 @@
+(** One-shot HTTP metrics endpoint over a Unix domain socket.
+
+    [start ~path provider] binds [path] (replacing a stale socket
+    file) and serves each connection an HTTP/1.0 response whose body
+    is [provider ()] — typically {!Prometheus.to_string} of a
+    published snapshot. The accept loop runs on a dedicated domain;
+    the provider executes there, so hand it immutable snapshots (e.g.
+    via an [Atomic]) rather than domain-local state.
+
+    Scrape with [curl --unix-socket PATH http://localhost/]. *)
+
+type t
+
+val start : path:string -> (unit -> string) -> t
+
+(** Close the listener, join the server domain, unlink the socket
+    file. Idempotent teardown of a server that already failed is
+    safe. *)
+val stop : t -> unit

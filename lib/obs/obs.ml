@@ -2,6 +2,10 @@ type value = Bool of bool | Int of int | Float of float | Str of string
 
 let now () = Monotonic_clock.now ()
 
+(* the sanctioned monotonic timestamp source outside lib/obs (nwlint
+   DET001 allowlists it; raw Monotonic_clock reads in lib/ are flagged) *)
+let now_ns = now
+
 (* ------------------------------------------------------------------ *)
 (* global switch                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -72,6 +76,10 @@ let assoc_add alist label r =
 
 let close_span c sp =
   sp.dur_ns <- Int64.sub (now ()) sp.start_ns;
+  if Flight.enabled () then
+    Flight.on_span_close
+      ~t_ns:(Int64.add sp.start_ns sp.dur_ns)
+      ~dur_ns:sp.dur_ns ~rounds:sp.self_rounds sp.name;
   (* defensive resync: exceptions flow through Fun.protect in LIFO
      order, so sp is the head unless recording was toggled mid-span *)
   (match c.stack with
@@ -106,6 +114,7 @@ let span ?attrs name f =
       }
     in
     c.stack <- sp :: c.stack;
+    if Flight.enabled () then Flight.on_span_open ~t_ns:sp.start_ns name;
     Fun.protect ~finally:(fun () -> close_span c sp) f
   end
 
@@ -117,6 +126,7 @@ let set_attr k v =
 
 let record_rounds ~label r =
   if r > 0 && Atomic.get enabled_flag then begin
+    if Flight.enabled () then Flight.on_charge ~label ~rounds:r;
     let c = ctx () in
     match c.stack with
     | sp :: _ ->
@@ -127,6 +137,7 @@ let record_rounds ~label r =
 
 let count ?(by = 1) name =
   if Atomic.get enabled_flag then begin
+    if Flight.enabled () then Flight.on_counter ~name ~delta:by;
     let c = ctx () in
     match Hashtbl.find_opt c.ctx_counters name with
     | Some r -> r := !r + by
@@ -295,6 +306,49 @@ let histograms t =
     t.ctx_hists []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* nearest-rank percentile over the power-of-two buckets: the answer is
+   the upper bound of the bucket holding the rank-th observation,
+   clamped into [min, max] (so constant and single-sample distributions
+   come back exact). Worst-case relative error is the bucket width: a
+   factor of 2. *)
+let percentile (h : histogram) q =
+  if h.count <= 0 then None
+  else begin
+    let q = Float.max 0.0 (Float.min 100.0 q) in
+    let rank =
+      Stdlib.max 1
+        (int_of_float (Float.ceil (q /. 100.0 *. float_of_int h.count)))
+    in
+    let rec go cum = function
+      | [] -> h.max
+      | (ub, c) :: rest ->
+          let cum = cum + c in
+          if cum >= rank then Float.min h.max (Float.max h.min ub)
+          else go cum rest
+    in
+    Some (go 0 h.buckets)
+  end
+
+(* a read-only copy of this domain's in-flight trace: completed root
+   spans are immutable once closed, so sharing them is safe; counters
+   and histogram accumulators are still live and get copied. Open spans
+   are not included. The metrics exposition path renders this between
+   passes without waiting for [collect]. *)
+let live_snapshot () =
+  let c = ctx () in
+  let snap = fresh_ctx () in
+  snap.roots <- c.roots;
+  snap.orphan_rounds <- c.orphan_rounds;
+  Hashtbl.iter
+    (fun k r -> Hashtbl.replace snap.ctx_counters k (ref !r))
+    c.ctx_counters;
+  Hashtbl.iter
+    (fun k h ->
+      Hashtbl.replace snap.ctx_hists k
+        { h with h_buckets = Array.copy h.h_buckets })
+    c.ctx_hists;
+  snap
+
 let ms ns = Int64.to_float ns /. 1e6
 
 let pp_value ppf = function
@@ -412,24 +466,9 @@ let pp_summary ppf t =
 (* ------------------------------------------------------------------ *)
 
 module Export = struct
-  let escape b s =
-    String.iter
-      (fun ch ->
-        match ch with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\t' -> Buffer.add_string b "\\t"
-        | '\r' -> Buffer.add_string b "\\r"
-        | ch when Char.code ch < 0x20 ->
-            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
-        | ch -> Buffer.add_char b ch)
-      s
-
-  let add_str b s =
-    Buffer.add_char b '"';
-    escape b s;
-    Buffer.add_char b '"'
+  (* one escaper for every JSON writer in the tree, shared with the
+     flight recorder and CLI diagnostics *)
+  let add_str = Json_lite.Emit.string
 
   let add_value b = function
     | Bool x -> Buffer.add_string b (string_of_bool x)

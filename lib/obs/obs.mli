@@ -24,6 +24,11 @@
 (** Attribute values attached to spans. *)
 type value = Bool of bool | Int of int | Float of float | Str of string
 
+(** Monotonic clock read, in nanoseconds from an arbitrary origin. The
+    sanctioned timestamp source outside lib/obs: nwlint DET001 flags
+    raw [Monotonic_clock] reads in lib/ but allowlists this. *)
+val now_ns : unit -> int64
+
 (** {1 Global switch} *)
 
 val enabled : unit -> bool
@@ -111,6 +116,21 @@ val root_wall_ns : trace -> int64
 
 val counters : trace -> (string * int) list
 val histograms : trace -> (string * histogram) list
+
+(** [percentile h q] is the nearest-rank q-th percentile (q in
+    [0, 100], clamped) from the power-of-two buckets: the upper bound
+    of the bucket holding the rank-th observation, clamped into
+    [[h.min, h.max]]. Exact for constant and single-sample
+    distributions; otherwise within a factor of 2 (the bucket width).
+    [None] on an empty histogram. *)
+val percentile : histogram -> float -> float option
+
+(** Read-only copy of the current domain's in-flight trace: completed
+    root spans (open spans excluded), counters, histograms, and
+    unattributed rounds as of now. Safe to render while recording
+    continues — the metrics exposition path calls this between
+    pipeline passes. *)
+val live_snapshot : unit -> trace
 
 (** Render the span tree (durations, per-span rounds, attributes),
     then counters and histograms. *)

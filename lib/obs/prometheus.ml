@@ -1,0 +1,148 @@
+(* Prometheus text-exposition rendering of Obs traces.
+
+   Renders counters, histograms, and per-phase aggregates in the
+   text/plain version=0.0.4 format scrapeable by Prometheus (or read by
+   a human over `forestd stats` / --serve-metrics). Works on the public
+   Obs surface only, so it renders both finished [collect] traces and
+   [Obs.live_snapshot] copies taken mid-run.
+
+   Dotted Obs names ("chaos.drops", "cache.rebuilds") map onto the
+   Prometheus grammar by sanitizing to [a-zA-Z0-9_] under an "nw_"
+   prefix; the original name is kept as a {name="..."} label on the
+   shared phase/counter families so nothing is lost to collisions. *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name + 4) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b ch
+      | _ -> Buffer.add_char b '_')
+    name;
+  let s = Buffer.contents b in
+  if s = "" then "_" else s
+
+(* label values: Prometheus escapes backslash, double-quote, newline *)
+let escape_label v =
+  let b = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | ch -> Buffer.add_char b ch)
+    v;
+  Buffer.contents b
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+(* merge per-trace assoc lists, summing values with [add] *)
+let merge_by_name add lists =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt tbl name with
+         | Some cur -> Hashtbl.replace tbl name (add cur v)
+         | None ->
+             order := name :: !order;
+             Hashtbl.add tbl name v))
+    lists;
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+let merge_hist (a : Obs.histogram) (b : Obs.histogram) : Obs.histogram =
+  let buckets =
+    merge_by_name ( + )
+      [
+        List.map (fun (ub, c) -> (ub, c)) a.buckets;
+        List.map (fun (ub, c) -> (ub, c)) b.buckets;
+      ]
+    |> List.sort (fun (x, _) (y, _) -> Float.compare x y)
+  in
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    min = Float.min a.min b.min;
+    max = Float.max a.max b.max;
+    buckets;
+  }
+
+let render b traces =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s) fmt in
+  (* counters ----------------------------------------------------- *)
+  let counters = merge_by_name ( + ) (List.map Obs.counters traces) in
+  if counters <> [] then begin
+    line "# TYPE nw_counter_total counter\n";
+    List.iter
+      (fun (name, v) ->
+        line "nw_counter_total{name=\"%s\"} %d\n" (escape_label name) v)
+      counters
+  end;
+  (* histograms --------------------------------------------------- *)
+  let hists =
+    merge_by_name merge_hist (List.map Obs.histograms traces)
+  in
+  List.iter
+    (fun (name, (h : Obs.histogram)) ->
+      let base = "nw_" ^ sanitize name in
+      line "# TYPE %s histogram\n" base;
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, c) ->
+          cum := !cum + c;
+          line "%s_bucket{le=\"%s\"} %d\n" base (fmt_float ub) !cum)
+        h.buckets;
+      line "%s_bucket{le=\"+Inf\"} %d\n" base h.count;
+      line "%s_sum %s\n" base (fmt_float h.sum);
+      line "%s_count %d\n" base h.count)
+    hists;
+  (* phases ------------------------------------------------------- *)
+  let phases =
+    merge_by_name
+      (fun (a : Obs.phase) (p : Obs.phase) ->
+        {
+          a with
+          calls = a.calls + p.calls;
+          total_ns = Int64.add a.total_ns p.total_ns;
+          self_ns = Int64.add a.self_ns p.self_ns;
+          rounds = a.rounds + p.rounds;
+        })
+      (List.map
+         (fun t ->
+           List.map (fun (p : Obs.phase) -> (p.name, p)) (Obs.phases t))
+         traces)
+  in
+  if phases <> [] then begin
+    line "# TYPE nw_phase_calls_total counter\n";
+    line "# TYPE nw_phase_seconds_total counter\n";
+    line "# TYPE nw_phase_self_seconds_total counter\n";
+    line "# TYPE nw_phase_rounds_total counter\n";
+    List.iter
+      (fun (name, (p : Obs.phase)) ->
+        let l = escape_label name in
+        line "nw_phase_calls_total{phase=\"%s\"} %d\n" l p.calls;
+        line "nw_phase_seconds_total{phase=\"%s\"} %s\n" l
+          (fmt_float (Int64.to_float p.total_ns /. 1e9));
+        line "nw_phase_self_seconds_total{phase=\"%s\"} %s\n" l
+          (fmt_float (Int64.to_float p.self_ns /. 1e9));
+        line "nw_phase_rounds_total{phase=\"%s\"} %d\n" l p.rounds)
+      phases
+  end;
+  (* totals ------------------------------------------------------- *)
+  let rounds = List.fold_left (fun a t -> a + Obs.total_rounds t) 0 traces in
+  let unattr =
+    List.fold_left (fun a t -> a + Obs.unattributed_rounds t) 0 traces
+  in
+  line "# TYPE nw_rounds_total counter\n";
+  line "nw_rounds_total %d\n" rounds;
+  line "# TYPE nw_rounds_unattributed_total counter\n";
+  line "nw_rounds_unattributed_total %d\n" unattr
+
+let to_string traces =
+  let b = Buffer.create 4096 in
+  render b traces;
+  Buffer.contents b

@@ -83,6 +83,47 @@ let test_rounds_domain_total () =
   Alcotest.(check int) "this domain is unaffected by the worker" 3
     (Rounds.domain_total () - before)
 
+(* Round attribution across the column-sharded counting path:
+   Rounds.charge fires on the calling domain after the Dpool fan-out
+   joins, never inside a helper, so the caller's domain_total delta
+   captures every charged round at any K — and the kernel's
+   deterministic merge keeps states and message counts byte-identical
+   across K = 1/2/4. This pins the attribution contract the bench
+   harness relies on under --domains. *)
+let test_rounds_domain_total_counting_par () =
+  let module Dpool = Nw_localsim.Dpool in
+  let run_at k =
+    Dpool.with_domains k (fun () ->
+        let g = Gen.path 33 in
+        let rounds = Rounds.create () in
+        let before = Rounds.domain_total () in
+        let net = Net.create g ~rounds ~init:(fun v -> v) in
+        for _ = 1 to 3 do
+          Net.round_count net ~label:"count"
+            ~decide:(fun _ st -> st mod 2 = 0)
+            ~recv:(fun _ st cnt -> st + cnt)
+        done;
+        let states = List.init (G.n g) (Net.state net) in
+        ( Rounds.domain_total () - before,
+          Rounds.total rounds,
+          Net.messages_delivered net,
+          states ))
+  in
+  let d1, t1, m1, s1 = run_at 1 in
+  Alcotest.(check int) "charges land on the calling domain" t1 d1;
+  List.iter
+    (fun k ->
+      let dk, tk, mk, sk = run_at k in
+      Alcotest.(check int)
+        (Printf.sprintf "domain_total attribution at K=%d" k)
+        d1 dk;
+      Alcotest.(check int) (Printf.sprintf "ledger total at K=%d" k) t1 tk;
+      Alcotest.(check int) (Printf.sprintf "messages at K=%d" k) m1 mk;
+      Alcotest.(check bool)
+        (Printf.sprintf "states byte-identical at K=%d" k)
+        true (s1 = sk))
+    [ 2; 4 ]
+
 (* one round of neighbor color exchange on a path *)
 let test_msg_net_exchange () =
   let g = Gen.path 4 in
@@ -209,6 +250,8 @@ let () =
             test_rounds_charge_max_label_order;
           Alcotest.test_case "per-domain total" `Quick
             test_rounds_domain_total;
+          Alcotest.test_case "counting path at K=1/2/4" `Quick
+            test_rounds_domain_total_counting_par;
         ] );
       ( "ball_view",
         [

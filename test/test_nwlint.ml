@@ -5,6 +5,7 @@
    `dune build @lint`. *)
 
 module D = Nwlint_core.Diagnostic
+module C = Nwlint_core.Config
 module Engine = Nwlint_core.Engine
 
 let lint ?(path = "lib/core/fixture.ml") src = Engine.lint_string ~path src
@@ -69,6 +70,61 @@ let det1 =
       check_clean ~path:"lib/chaos/fixture.ml" "let draw s = Rng.mix s" );
     ( "negative: Rng use outside lib/",
       check_clean ~path:"bench/fixture.ml" "let draw s = My_util.Rng.next s" );
+    (* raw monotonic-clock reads: only lib/obs touches the clock module
+       directly; everyone else goes through Nw_obs.Obs.now_ns *)
+    ( "positive: raw Monotonic_clock read",
+      check_fires "DET001" "let t = Monotonic_clock.now ()" );
+    ( "positive: clock module behind an alias",
+      check_fires "DET001"
+        "module Clock = Monotonic_clock\nlet t = Clock.now ()" );
+    ( "positive: Mtime_clock read",
+      check_fires "DET001" "let t = Mtime_clock.elapsed ()" );
+    ( "negative: lib/obs hosts the clock wrapper",
+      check_clean ~path:"lib/obs/fixture.ml" "let t = Monotonic_clock.now ()"
+    );
+    ( "negative: monotonic clock outside lib/",
+      check_clean ~path:"bench/fixture.ml" "let t = Monotonic_clock.now ()" );
+    ( "negative: the sanctioned Obs.now_ns route",
+      check_clean "module Obs = Nw_obs.Obs\nlet t = Obs.now_ns ()" );
+    ( "suppressed: clock read",
+      check_silent "DET001"
+        "(* nwlint:disable DET001 -- fixture justification *)\n\
+         let t = Monotonic_clock.now ()" );
+  ]
+
+(* --allow-clock extends det1_clock_allow exactly like --allow-rng
+   extends det1_rng_allow *)
+let clock_allow_extension () =
+  let config =
+    {
+      C.default with
+      C.det1_clock_allow = "Monotonic_clock" :: C.default.C.det1_clock_allow;
+    }
+  in
+  let ds =
+    Engine.lint_string ~config ~path:"lib/core/fixture.ml"
+      "let t = Monotonic_clock.now ()"
+  in
+  Alcotest.(check (list string))
+    "--allow-clock sanctions the source" [] (rules ds)
+
+(* --- OBS001 ------------------------------------------------------- *)
+
+let obs1 =
+  [
+    ("positive: Gc.stat in lib/", check_fires "OBS001" "let s = Gc.stat ()");
+    ( "positive: Gc.stat behind an alias",
+      check_fires "OBS001" "module M = Gc\nlet s = M.stat ()" );
+    ( "positive: Stdlib-qualified Gc.stat",
+      check_fires "OBS001" "let s = Stdlib.Gc.stat ()" );
+    ( "negative: Gc.quick_stat is the sanctioned read",
+      check_clean "let s = Gc.quick_stat ()" );
+    ( "negative: Gc.stat outside lib/",
+      check_clean ~path:"bench/fixture.ml" "let s = Gc.stat ()" );
+    ( "suppressed",
+      check_silent "OBS001"
+        "(* nwlint:disable OBS001 -- fixture justification *)\n\
+         let s = Gc.stat ()" );
   ]
 
 (* --- DET002 ------------------------------------------------------- *)
@@ -352,8 +408,12 @@ let () =
   let tc (name, f) = Alcotest.test_case name `Quick f in
   Alcotest.run "nwlint"
     [
-      ("det001", List.map tc det1);
+      ( "det001",
+        List.map tc det1
+        @ [ Alcotest.test_case "allow-clock extension" `Quick
+              clock_allow_extension ] );
       ("det002", List.map tc det2);
+      ("obs001", List.map tc obs1);
       ("ledger001", List.map tc ledger);
       ("io001", List.map tc io);
       ("exn001", List.map tc exn);

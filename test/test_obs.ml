@@ -1,10 +1,15 @@
 (* Tests for the lib/obs tracing layer: span nesting and phase
    aggregation, round attribution through the Rounds hook, the
-   disabled-mode cost contract, and well-formedness of the Chrome /
-   JSONL exports (parsed back with Json_lite). *)
+   disabled-mode cost contract, well-formedness of the Chrome / JSONL
+   exports (parsed back with Json_lite), histogram percentiles, the
+   flight recorder, the Prometheus renderer, and the Unix-socket
+   metrics endpoint. *)
 
 module Obs = Nw_obs.Obs
 module J = Nw_obs.Json_lite
+module Flight = Nw_obs.Flight
+module Prom = Nw_obs.Prometheus
+module Mserver = Nw_obs.Metrics_server
 module Rounds = Nw_localsim.Rounds
 
 (* recording is a process-wide switch: every test restores it so the
@@ -265,6 +270,348 @@ let test_jsonl_export_wellformed () =
         true (List.mem k kinds))
     [ "span"; "counter"; "histogram" ]
 
+(* ------------------------------------------------------------------ *)
+(* escaping: hostile strings through the shared JSON emitter           *)
+(* ------------------------------------------------------------------ *)
+
+let hostile = "q\"uote\\back\nnl\ttab\rcr\001ctl{}[]"
+
+let test_emit_roundtrip () =
+  List.iter
+    (fun s ->
+      match J.parse (J.Emit.string_value s) with
+      | J.String s' -> Alcotest.(check string) "round-trips" s s'
+      | _ -> Alcotest.fail "emitted string did not parse as a string")
+    [ hostile; ""; "plain"; String.init 32 Char.chr ]
+
+let test_chrome_escaping_roundtrip () =
+  with_enabled @@ fun () ->
+  let (), t =
+    Obs.collect (fun () ->
+        Obs.span hostile ~attrs:[ ("k", Obs.Str hostile) ] (fun () -> ()))
+  in
+  let b = Buffer.create 256 in
+  Obs.Export.chrome b [ t ];
+  let json = J.parse (Buffer.contents b) in
+  let events =
+    Option.get (Option.bind (J.member "traceEvents" json) J.to_list)
+  in
+  let ev = List.hd events in
+  Alcotest.(check (option string))
+    "hostile span name survives" (Some hostile)
+    (Option.bind (J.member "name" ev) J.to_string);
+  let args = Option.get (J.member "args" ev) in
+  Alcotest.(check (option string))
+    "hostile attr value survives" (Some hostile)
+    (Option.bind (J.member "k" args) J.to_string)
+
+(* ------------------------------------------------------------------ *)
+(* histogram percentiles                                               *)
+(* ------------------------------------------------------------------ *)
+
+let hist_of thunk =
+  with_enabled @@ fun () ->
+  let (), t = Obs.collect thunk in
+  match Obs.histograms t with
+  | [ (_, h) ] -> h
+  | other -> Alcotest.failf "expected one histogram, got %d" (List.length other)
+
+let test_percentile_constant () =
+  let h = hist_of (fun () -> for _ = 1 to 100 do Obs.observe "h" 5.0 done) in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "p%g of a constant is the constant" q)
+        (Some 5.0) (Obs.percentile h q))
+    [ 0.0; 50.0; 90.0; 99.0; 100.0 ]
+
+let test_percentile_single_sample () =
+  let h = hist_of (fun () -> Obs.observe "h" 3.0) in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "p%g of one sample is the sample" q)
+        (Some 3.0) (Obs.percentile h q))
+    [ 0.0; 50.0; 99.0; 100.0 ]
+
+let test_percentile_empty () =
+  let h =
+    { Obs.count = 0; sum = 0.0; min = 0.0; max = 0.0; buckets = [] }
+  in
+  Alcotest.(check (option (float 1e-9))) "empty histogram" None
+    (Obs.percentile h 50.0)
+
+let test_percentile_uniform () =
+  let h =
+    hist_of (fun () ->
+        for i = 1 to 1024 do Obs.observe "h" (float_of_int i) done)
+  in
+  let p q = Option.get (Obs.percentile h q) in
+  (* power-of-two buckets: the answer is the bucket upper bound, within
+     a factor of 2 of the true quantile *)
+  let check_factor2 q truth =
+    let v = p q in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%g=%g within factor 2 of %g" q v truth)
+      true
+      (v >= truth /. 2.0 && v <= truth *. 2.0)
+  in
+  check_factor2 50.0 512.0;
+  check_factor2 90.0 922.0;
+  check_factor2 99.0 1014.0;
+  Alcotest.(check bool) "monotone p50<=p90<=p99" true
+    (p 50.0 <= p 90.0 && p 90.0 <= p 99.0);
+  (* out-of-range quantiles clamp instead of raising *)
+  Alcotest.(check bool) "q>100 clamps to max" true (p 200.0 <= h.Obs.max);
+  Alcotest.(check bool) "q<0 clamps to min side" true (p (-5.0) >= h.Obs.min)
+
+(* ------------------------------------------------------------------ *)
+(* flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* recorder state is process-wide like the Obs switch: reset on entry,
+   restore every switch on the way out *)
+let with_flight f =
+  Obs.set_enabled true;
+  Flight.set_enabled true;
+  Flight.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_enabled false;
+      Flight.clear_sink ();
+      Flight.reset ();
+      Flight.configure ();
+      Obs.set_enabled false)
+    f
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_flight_roundtrip () =
+  with_flight @@ fun () ->
+  let r = Rounds.create () in
+  let (), _t =
+    Obs.collect (fun () ->
+        Obs.span "work" (fun () -> Rounds.charge r ~label:"peel" 3);
+        Obs.count "msgs" ~by:2)
+  in
+  Flight.mark "engine.checkpoint" [ ("pipeline", "p"); ("id", "p#1") ];
+  let b = Buffer.create 1024 in
+  Flight.render ~env:[ ("backend", "csr") ] ~reason:"unit-test" b;
+  let json = J.parse (Buffer.contents b) in
+  Alcotest.(check (option string))
+    "schema" (Some "nw-flight/1")
+    (Option.bind (J.member "schema" json) J.to_string);
+  Alcotest.(check (option string))
+    "reason" (Some "unit-test")
+    (Option.bind (J.member "reason" json) J.to_string);
+  let env = Option.get (J.member "env" json) in
+  Alcotest.(check (option string))
+    "env stamped" (Some "csr")
+    (Option.bind (J.member "backend" env) J.to_string);
+  let last = Option.get (J.member "last" json) in
+  let ck = Option.get (J.member "engine.checkpoint" last) in
+  let fields = Option.get (J.member "fields" ck) in
+  Alcotest.(check (option string))
+    "latest mark lifted into last" (Some "p#1")
+    (Option.bind (J.member "id" fields) J.to_string);
+  let doms = Option.get (Option.bind (J.member "domains" json) J.to_list) in
+  Alcotest.(check bool) "at least one ring" true (doms <> []);
+  let tags =
+    List.concat_map
+      (fun d ->
+        match Option.bind (J.member "events" d) J.to_list with
+        | Some evs ->
+            List.filter_map
+              (fun ev -> Option.bind (J.member "ev" ev) J.to_string)
+              evs
+        | None -> [])
+      doms
+  in
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "event kind %s recorded" tag)
+        true (List.mem tag tags))
+    [ "open"; "close"; "count"; "charge"; "mark" ]
+
+let test_flight_ring_bound () =
+  Flight.configure ~capacity:8 ();
+  with_flight @@ fun () ->
+  for _ = 1 to 100 do
+    Obs.count "c"
+  done;
+  let b = Buffer.create 1024 in
+  Flight.render ~reason:"bound" b;
+  let json = J.parse (Buffer.contents b) in
+  let doms = Option.get (Option.bind (J.member "domains" json) J.to_list) in
+  let mine =
+    List.find
+      (fun d ->
+        Option.bind (J.member "tid" d) J.to_int
+        = Some (Domain.self () :> int))
+      doms
+  in
+  let evs = Option.get (Option.bind (J.member "events" mine) J.to_list) in
+  Alcotest.(check int) "ring keeps the newest capacity events" 8
+    (List.length evs);
+  Alcotest.(check (option int)) "dump counts what fell off" (Some 92)
+    (Option.bind (J.member "dropped" mine) J.to_int)
+
+let test_flight_trigger_sink () =
+  with_flight @@ fun () ->
+  let path = Filename.temp_file "nwflight" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Flight.trigger ~reason:"ignored" ();
+  Alcotest.(check int) "no dump without a sink" 0 (Flight.dumps_written ());
+  Flight.set_sink ~env:[ ("a", "b") ] path;
+  Obs.count "c";
+  Flight.trigger ~reason:"pass-failed" ();
+  Alcotest.(check int) "one dump" 1 (Flight.dumps_written ());
+  let json = J.parse (read_whole path) in
+  Alcotest.(check (option string))
+    "dump carries the trigger reason" (Some "pass-failed")
+    (Option.bind (J.member "reason" json) J.to_string);
+  let env = Option.get (J.member "env" json) in
+  Alcotest.(check (option string))
+    "dump carries the armed env" (Some "b")
+    (Option.bind (J.member "a" env) J.to_string)
+
+let test_flight_disabled_is_silent () =
+  Obs.set_enabled true;
+  Flight.set_enabled false;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  Flight.mark "m" [ ("k", "v") ];
+  Alcotest.(check bool) "marks are dropped when disabled" true
+    (Flight.last_mark "m" = None)
+
+let test_flight_last_mark_latest () =
+  with_flight @@ fun () ->
+  Flight.mark "m" [ ("k", "old") ];
+  Flight.mark "m" [ ("k", "new") ];
+  Alcotest.(check bool) "last_mark returns the latest fields" true
+    (Flight.last_mark "m" = Some [ ("k", "new") ])
+
+(* ------------------------------------------------------------------ *)
+(* prometheus rendering                                                *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_has text line =
+  Alcotest.(check bool) (Printf.sprintf "exposes %S" line) true
+    (contains text line)
+
+let test_prometheus_render () =
+  with_enabled @@ fun () ->
+  let t = sample_trace () in
+  let text = Prom.to_string [ t ] in
+  check_has text "# TYPE nw_counter_total counter\n";
+  check_has text "nw_counter_total{name=\"msgs\"} 2\n";
+  (* one observation of 5.0 lands in the (4,8] power-of-two bucket;
+     the +Inf bucket is the total count *)
+  check_has text "# TYPE nw_len histogram\n";
+  check_has text "nw_len_bucket{le=\"8\"} 1\n";
+  check_has text "nw_len_bucket{le=\"+Inf\"} 1\n";
+  check_has text "nw_len_sum 5\n";
+  check_has text "nw_len_count 1\n";
+  check_has text "nw_phase_calls_total{phase=\"root\"} 1\n";
+  check_has text "nw_phase_rounds_total{phase=\"child\"} 3\n";
+  check_has text "nw_rounds_total 3\n";
+  check_has text "nw_rounds_unattributed_total 0\n"
+
+let test_prometheus_merge () =
+  with_enabled @@ fun () ->
+  let t = sample_trace () in
+  let text = Prom.to_string [ t; t ] in
+  check_has text "nw_counter_total{name=\"msgs\"} 4\n";
+  check_has text "nw_len_count 2\n";
+  check_has text "nw_phase_calls_total{phase=\"root\"} 2\n";
+  check_has text "nw_rounds_total 6\n"
+
+let test_prometheus_label_escaping () =
+  with_enabled @@ fun () ->
+  let (), t = Obs.collect (fun () -> Obs.count "a\"b\nc\\d") in
+  let text = Prom.to_string [ t ] in
+  check_has text "nw_counter_total{name=\"a\\\"b\\nc\\\\d\"} 1\n"
+
+let test_live_snapshot () =
+  with_enabled @@ fun () ->
+  let (), _t =
+    Obs.collect (fun () ->
+        Obs.span "done" (fun () -> ());
+        Obs.count "c" ~by:3;
+        Obs.observe "h" 1.0;
+        Obs.span "open" (fun () ->
+            let live = Obs.live_snapshot () in
+            Alcotest.(check (list (pair string int)))
+              "counters visible mid-run" [ ("c", 3) ] (Obs.counters live);
+            Alcotest.(check int) "histogram visible mid-run" 1
+              (match Obs.histograms live with
+              | [ (_, h) ] -> h.Obs.count
+              | _ -> -1);
+            let names =
+              List.map (fun (p : Obs.phase) -> p.Obs.name) (Obs.phases live)
+            in
+            Alcotest.(check (list string))
+              "completed roots only; the open span is excluded" [ "done" ]
+              names))
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* metrics endpoint                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let http_get path =
+  let c = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close c with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect c (Unix.ADDR_UNIX path);
+  let req = "GET / HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write_substring c req 0 (String.length req));
+  let b = Buffer.create 512 in
+  let bytes = Bytes.create 1024 in
+  let rec drain () =
+    match Unix.read c bytes 0 (Bytes.length bytes) with
+    | 0 -> ()
+    | k ->
+        Buffer.add_subbytes b bytes 0 k;
+        drain ()
+  in
+  drain ();
+  Buffer.contents b
+
+let test_metrics_server () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "nw_obs_test_metrics.sock"
+  in
+  let srv = Mserver.start ~path (fun () -> "nw_rounds_total 0\n") in
+  let stopped = ref false in
+  Fun.protect ~finally:(fun () -> if not !stopped then Mserver.stop srv)
+  @@ fun () ->
+  (* two scrapes: the accept loop must survive a served connection *)
+  List.iter
+    (fun _ ->
+      let resp = http_get path in
+      Alcotest.(check bool) "HTTP 200" true (contains resp "200 OK");
+      Alcotest.(check bool) "prometheus content type" true
+        (contains resp "text/plain; version=0.0.4");
+      Alcotest.(check bool) "body served" true
+        (contains resp "nw_rounds_total 0\n"))
+    [ 1; 2 ];
+  Mserver.stop srv;
+  stopped := true;
+  Alcotest.(check bool) "socket file unlinked on stop" false
+    (Sys.file_exists path)
+
 let () =
   Alcotest.run "nw_obs"
     [
@@ -291,5 +638,36 @@ let () =
         [
           Alcotest.test_case "chrome" `Quick test_chrome_export_wellformed;
           Alcotest.test_case "jsonl" `Quick test_jsonl_export_wellformed;
+          Alcotest.test_case "emit round-trip" `Quick test_emit_roundtrip;
+          Alcotest.test_case "chrome hostile strings" `Quick
+            test_chrome_escaping_roundtrip;
         ] );
+      ( "percentiles",
+        [
+          Alcotest.test_case "constant" `Quick test_percentile_constant;
+          Alcotest.test_case "single sample" `Quick
+            test_percentile_single_sample;
+          Alcotest.test_case "empty" `Quick test_percentile_empty;
+          Alcotest.test_case "uniform" `Quick test_percentile_uniform;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "dump round-trip" `Quick test_flight_roundtrip;
+          Alcotest.test_case "ring bound" `Quick test_flight_ring_bound;
+          Alcotest.test_case "trigger sink" `Quick test_flight_trigger_sink;
+          Alcotest.test_case "disabled is silent" `Quick
+            test_flight_disabled_is_silent;
+          Alcotest.test_case "last mark wins" `Quick
+            test_flight_last_mark_latest;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "render" `Quick test_prometheus_render;
+          Alcotest.test_case "merge" `Quick test_prometheus_merge;
+          Alcotest.test_case "label escaping" `Quick
+            test_prometheus_label_escaping;
+          Alcotest.test_case "live snapshot" `Quick test_live_snapshot;
+        ] );
+      ( "metrics-server",
+        [ Alcotest.test_case "scrape and stop" `Quick test_metrics_server ] );
     ]

@@ -21,6 +21,14 @@ type t = {
          these. The splittable, seed-threaded [Nw_chaos.Rng] is the
          blessed source (every draw a pure function of seed +
          coordinates, so fault timelines replay). *)
+  det1_clock_allow : string list;
+      (* dotted paths (equal-or-prefix on the alias-expanded form)
+         sanctioned as monotonic-clock sources: raw reads of
+         Monotonic_clock/Mtime_clock in lib/ outside lib/obs are DET001
+         unless they resolve here. [Nw_obs.Obs.now_ns] is the blessed
+         route — it sits behind the Obs enable switch, so disabled runs
+         stay clock-free and deterministic; the flight recorder's
+         timestamps flow through the same source inside lib/obs. *)
   eng1_composites : (string * string list) list;
       (* composite-phase entry points of lib/core, as
          (module, functions): outside lib/core and lib/engine these are
@@ -57,6 +65,7 @@ let default =
        bench harness (safe under --domains K by construction) *)
     scratch_modules = [ "Scratch"; "Counters" ];
     det1_rng_allow = [ "Nw_chaos.Rng"; "Chaos.Rng" ];
+    det1_clock_allow = [ "Nw_obs.Obs.now_ns" ];
     eng1_composites =
       [
         ( "Forest_algo",
@@ -90,9 +99,9 @@ let rules =
   [
     ( "DET001",
       Diagnostic.Error,
-      "no wall-clock, unseeded Random, or ad-hoc Rng modules in lib/ \
-       (lib/obs monotonic clock and the seed-threaded Nw_chaos.Rng \
-       allowlisted)" );
+      "no wall-clock, raw monotonic-clock, unseeded Random, or ad-hoc Rng \
+       modules in lib/ (lib/obs, Nw_obs.Obs.now_ns, and the seed-threaded \
+       Nw_chaos.Rng allowlisted)" );
     ( "DET002",
       Diagnostic.Error,
       "no polymorphic =/compare/Hashtbl.hash on graph, adjacency, or \
@@ -108,6 +117,10 @@ let rules =
       Diagnostic.Error,
       "catch-all exception handler without re-raise (span exception-safety)"
     );
+    ( "OBS001",
+      Diagnostic.Error,
+      "no Gc.stat in lib/ (O(heap) walk) where Gc.quick_stat suffices for \
+       resource attribution" );
     ( "PURE001",
       Diagnostic.Error,
       "no top-level mutable state in lib/core or lib/decomp outside \

@@ -124,6 +124,27 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
       [ "Sys"; "time" ];
     ]
   in
+  (* raw monotonic-clock modules: fine inside lib/obs (that is where the
+     sanctioned wrapper lives), DET001 anywhere else in lib/ unless the
+     expanded path resolves to a sanctioned source *)
+  let clock_modules = [ "Monotonic_clock"; "Mtime_clock"; "Mtime" ] in
+  let is_clock_path segs =
+    let modpath =
+      match List.rev segs with [] -> [] | _ :: m -> List.rev m
+    in
+    List.exists (fun m -> List.mem m clock_modules) modpath
+  in
+  let clock_sanctioned segs =
+    let d = dotted segs in
+    List.exists
+      (fun p ->
+        let lp = String.length p in
+        String.equal d p
+        || (String.length d > lp
+            && String.equal (String.sub d 0 lp) p
+            && d.[lp] = '.'))
+      config.det1_clock_allow
+  in
   let check_det1 ~loc segs =
     if scope.in_lib && not scope.in_lib_obs then
       if List.mem segs det1_exact then
@@ -151,6 +172,14 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
               (Some
                  "thread a seeded Random.State.t from the experiment \
                   config instead")
+        | _ when is_clock_path segs && not (clock_sanctioned segs) ->
+            add ~loc "DET001" Error
+              (Printf.sprintf "raw monotonic-clock read `%s` in lib/"
+                 (dotted segs))
+              (Some
+                 "timestamps flow through Nw_obs.Obs.now_ns (behind the \
+                  Obs enable switch, so disabled runs stay clock-free); \
+                  sanction other sources with --allow-clock PREFIX")
         | _ ->
             (* paths through a module named Rng are hand-rolled
                generators unless they resolve to a sanctioned source
@@ -178,6 +207,20 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
                    "randomness in lib/ flows through the seed-threaded \
                     splittable Nw_chaos.Rng (alias it: module Rng = \
                     Nw_chaos.Rng) or an explicitly seeded Random.State.t")
+  in
+
+  (* --- OBS001 -------------------------------------------------- *)
+  (* Gc.stat walks the entire major heap to compute live/free block
+     counts; every resource-attribution field the observability layer
+     reads (minor/major/promoted words, collection counts,
+     top_heap_words) is available from the O(1) Gc.quick_stat *)
+  let check_obs1 ~loc segs =
+    if scope.in_lib && segs = [ "Gc"; "stat" ] then
+      add ~loc "OBS001" Error
+        "`Gc.stat` in lib/ — walks the whole heap (O(live blocks) pause)"
+        (Some
+           "use Gc.quick_stat: minor/major/promoted words, collection \
+            counts, and top_heap_words are all O(1) counter reads")
   in
 
   (* --- DET002 -------------------------------------------------- *)
@@ -499,6 +542,7 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
         | Pexp_ident { txt; _ } ->
             let segs = expand_lid txt in
             check_det1 ~loc segs;
+            check_obs1 ~loc segs;
             check_det2_bare ~loc segs;
             check_io ~loc segs;
             check_eng1 ~loc segs;

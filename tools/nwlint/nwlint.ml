@@ -2,7 +2,7 @@
 
      nwlint [--json] [--fail-on warning|error] [--list-rules]
             [--deny-module M] [--allow-scalar F] [--deny-value V]
-            [--scratch M] [--allow-rng PREFIX]
+            [--scratch M] [--allow-rng PREFIX] [--allow-clock PREFIX]
             [--allow-composite Module.func] PATH...
 
    Paths are files or directories (searched recursively for .ml/.mli,
@@ -19,7 +19,7 @@ let usage () =
   prerr_endline
     "usage: nwlint [--json] [--fail-on warning|error] [--list-rules]\n\
     \              [--deny-module M] [--allow-scalar F] [--deny-value V]\n\
-    \              [--scratch M] [--allow-rng PREFIX]\n\
+    \              [--scratch M] [--allow-rng PREFIX] [--allow-clock PREFIX]\n\
     \              [--allow-composite Module.func] PATH...";
   exit 2
 
@@ -65,6 +65,10 @@ let () =
     | "--allow-rng" :: p :: rest ->
         config :=
           { !config with det1_rng_allow = p :: !config.det1_rng_allow };
+        parse rest
+    | "--allow-clock" :: p :: rest ->
+        config :=
+          { !config with det1_clock_allow = p :: !config.det1_clock_allow };
         parse rest
     | "--allow-composite" :: f :: rest ->
         config := { !config with eng1_allow = f :: !config.eng1_allow };
