@@ -262,7 +262,14 @@ let decompose path algorithm epsilon seed alpha_opt dot save trace metrics
   (match serve_metrics with
   | None -> ()
   | Some sock ->
-      let srv = Metrics_server.start ~path:sock (fun () -> Atomic.get published) in
+      (* start refuses to reclaim a non-socket path (it would unlink
+         someone else's file); surface that as a CLI error, not a crash *)
+      let srv =
+        try Metrics_server.start ~path:sock (fun () -> Atomic.get published)
+        with Invalid_argument msg ->
+          prerr_endline ("forestd: " ^ msg);
+          exit 2
+      in
       at_exit (fun () -> Metrics_server.stop srv));
   let publish_live () =
     if serve_metrics <> None then

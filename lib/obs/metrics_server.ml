@@ -24,6 +24,19 @@ type t = {
 let unlink_existing path =
   try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
+(* reclaim a stale socket file (a previous server that died before its
+   [stop] could unlink) so a restart never sees EADDRINUSE — but refuse
+   to delete anything that is not a socket: that is someone else's file
+   and silently unlinking it would be data loss *)
+let unlink_stale path =
+  match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> unlink_existing path
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Metrics_server.start: %s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
 let write_all fd s =
   let n = String.length s in
   let rec go off =
@@ -59,7 +72,7 @@ let serve_client provider client =
       with Unix.Unix_error _ -> ())
 
 let start ~path provider =
-  unlink_existing path;
+  unlink_stale path;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd 8;

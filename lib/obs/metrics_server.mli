@@ -1,7 +1,10 @@
 (** One-shot HTTP metrics endpoint over a Unix domain socket.
 
-    [start ~path provider] binds [path] (replacing a stale socket
-    file) and serves each connection an HTTP/1.0 response whose body
+    [start ~path provider] binds [path] (reclaiming a stale socket
+    file left by a crashed predecessor, so restarts never fail with
+    EADDRINUSE; anything else already at [path] raises
+    [Invalid_argument] rather than being unlinked) and serves each
+    connection an HTTP/1.0 response whose body
     is [provider ()] — typically {!Prometheus.to_string} of a
     published snapshot. The accept loop runs on a dedicated domain;
     the provider executes there, so hand it immutable snapshots (e.g.

@@ -1,0 +1,15 @@
+(* CONTRACT001 fixture: a pass whose body disagrees with its declared
+   reads/writes contract. Expected findings: undeclared read of
+   "hidden", undeclared write of "coloring", dead write entry "mask". *)
+
+let bad_pass =
+  {
+    name = "fixture.bad";
+    reads = [ ("graph", `Graph) ];
+    writes = [ ("mask", `Mask) ];
+    run =
+      (fun _ctx store ->
+        let _g = Nw_engine.Store.graph store "graph" in
+        let _hidden = Nw_engine.Store.num store "hidden" in
+        Nw_engine.Store.put store "coloring" 0);
+  }

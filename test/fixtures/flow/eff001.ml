@@ -1,0 +1,24 @@
+(* EFF001 fixture: IO, wall clock, and unseeded randomness reachable
+   from a pass body. The contract itself is consistent (reads graph,
+   writes num) so only EFF001 fires here. *)
+
+let log_result c = print_endline (string_of_int c)
+let now () = Unix.gettimeofday ()
+let pick n = Random.int n
+
+let noisy_pass =
+  {
+    name = "fixture.noisy";
+    reads = [ ("graph", `Graph) ];
+    writes = [ ("num", `Num) ];
+    run =
+      (fun _ctx store ->
+        let g = Nw_engine.Store.graph store "graph" in
+        let c = size g in
+        log_result c;
+        let _t = now () in
+        let _r = pick 3 in
+        Nw_engine.Store.put store "num" c);
+  }
+
+and size _g = 7

@@ -1,0 +1,12 @@
+(* RACE002 fixture: DLS discipline violations.
+
+   (a) [make_key] creates a Domain.DLS key inside a function — a fresh
+   key per call defeats the one-key-per-process discipline and leaks
+   slots. (b) [merge_results] reads DLS from the deterministic merge
+   phase, so its result depends on which domain runs the merge. *)
+
+let make_key () = Domain.DLS.new_key (fun () -> 0)
+
+let key = Domain.DLS.new_key (fun () -> 0)
+
+let merge_results acc = acc + Domain.DLS.get key

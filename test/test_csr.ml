@@ -253,6 +253,79 @@ let golden_round_count () =
         (peel ~backend ~domains))
     [ (Backend.Boxed, 2); (Backend.Csr, 1); (Backend.Csr, 2); (Backend.Csr, 4) ]
 
+(* ------------------------------------------------------------------ *)
+(* adversarial-scheduling merge determinism                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The Dpool/Msg_net merge discipline claims byte-identical results at
+   any domain count *regardless of which shard finishes first*. Attack
+   that claim directly: every send/recv callback busy-waits for a
+   pseudo-random number of iterations keyed by (seed, vertex, round),
+   so shard completion order varies wildly between domain counts (and
+   between property instances), while states, delivered-message
+   counts, the per-label ledger, and the per-domain work counter must
+   all stay exactly equal to the sequential run. *)
+let adversarial_spin seed v round =
+  let h = (seed * 0x9e3779b9) lxor (v * 0x85ebca6b) lxor (round * 0xc2b2ae35) in
+  let iters = (h land 0x3fff) + ((h lsr 14) land 0xfff) in
+  let acc = ref 0 in
+  for i = 1 to iters do
+    acc := !acc + (Sys.opaque_identity i)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let run_adversarial_protocol ~seed ~domains =
+  Dpool.with_domains domains @@ fun () ->
+  let n = 5 + (seed mod 36) in
+  let g = Gen.forest_union (rng seed) n (2 + (seed mod 3)) in
+  let rounds = Rounds.create () in
+  let base = Rounds.domain_total () in
+  let net = Net.create g ~rounds ~init:(fun v -> (v * 31) land 0xffff) in
+  let round_no = ref 0 in
+  for _ = 1 to 4 do
+    incr round_no;
+    let r = !round_no in
+    Net.round net ~label:"adversarial"
+      ~send:(fun v st ->
+        adversarial_spin seed v r;
+        G.fold_incident g v ~init:[]
+          (fun acc _ e -> (e, (st + v) land 0xffff) :: acc)
+        |> List.rev)
+      ~recv:(fun v st msgs ->
+        adversarial_spin (seed + 1) v r;
+        (* order-sensitive fold: any delivery-order wobble shows up *)
+        List.fold_left
+          (fun acc (_, m) -> ((acc * 131) + m) land 0xfffffff)
+          ((st * 7) + v) msgs)
+  done;
+  ( Array.to_list (Net.states net),
+    Net.messages_delivered net,
+    Rounds.ledger rounds,
+    Rounds.domain_total () - base )
+
+let prop_adversarial_merge =
+  QCheck.Test.make
+    ~name:"Msg_net merge is schedule-independent (K=1/2/4, spin-perturbed)"
+    ~count:10 (QCheck.int_bound 1_000_000)
+    (fun seed ->
+      let reference = run_adversarial_protocol ~seed ~domains:1 in
+      List.for_all
+        (fun domains -> run_adversarial_protocol ~seed ~domains = reference)
+        [ 2; 4 ])
+
+(* same adversary, full engine: an lsfd pipeline run under perturbed
+   scheduling must reproduce the K=1 coloring and ledger exactly *)
+let adversarial_pipeline () =
+  let g = Gen.forest_union (rng 57) 120 3 in
+  let reference = run_pipeline g ~backend:Backend.Csr ~domains:1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (pair (list (option int)) (list (pair string int))))
+        (Printf.sprintf "lsfd pipeline identical at K=%d" domains)
+        reference
+        (run_pipeline g ~backend:Backend.Csr ~domains))
+    [ 2; 4 ]
+
 let () =
   let qsuite name tests =
     (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
@@ -268,5 +341,11 @@ let () =
           Alcotest.test_case "fault digest invariant" `Quick golden_chaos;
           Alcotest.test_case "round_count across backends/domains" `Quick
             golden_round_count;
+        ] );
+      qsuite "adversarial" [ prop_adversarial_merge ];
+      ( "adversarial-pipeline",
+        [
+          Alcotest.test_case "lsfd under perturbed scheduling" `Quick
+            adversarial_pipeline;
         ] );
     ]

@@ -612,6 +612,53 @@ let test_metrics_server () =
   Alcotest.(check bool) "socket file unlinked on stop" false
     (Sys.file_exists path)
 
+(* restart discipline: a second start on the same path must never see
+   EADDRINUSE — whether the first server stopped cleanly or died
+   leaving a stale socket file behind *)
+let test_metrics_server_restart () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      "nw_obs_test_metrics_restart.sock"
+  in
+  let srv1 = Mserver.start ~path (fun () -> "gen 1\n") in
+  Mserver.stop srv1;
+  let srv2 = Mserver.start ~path (fun () -> "gen 2\n") in
+  Fun.protect ~finally:(fun () -> Mserver.stop srv2)
+  @@ fun () ->
+  Alcotest.(check bool) "second server serves" true
+    (contains (http_get path) "gen 2")
+
+let test_metrics_server_stale_socket () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      "nw_obs_test_metrics_stale.sock"
+  in
+  (* simulate a crashed server: bind a socket at [path] and close the
+     fd without unlinking, leaving the socket file on disk *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  Alcotest.(check bool) "stale socket file left behind" true
+    (Sys.file_exists path);
+  let srv = Mserver.start ~path (fun () -> "revived\n") in
+  Fun.protect ~finally:(fun () -> Mserver.stop srv)
+  @@ fun () ->
+  Alcotest.(check bool) "server reclaimed the stale socket" true
+    (contains (http_get path) "revived")
+
+let test_metrics_server_refuses_non_socket () =
+  let path = Filename.temp_file "nw_obs_metrics" ".not_a_sock" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match Mserver.start ~path (fun () -> "") with
+  | srv ->
+      Mserver.stop srv;
+      Alcotest.fail "start must refuse a non-socket path"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "the existing file was not unlinked" true
+    (Sys.file_exists path)
+
 let () =
   Alcotest.run "nw_obs"
     [
@@ -669,5 +716,13 @@ let () =
           Alcotest.test_case "live snapshot" `Quick test_live_snapshot;
         ] );
       ( "metrics-server",
-        [ Alcotest.test_case "scrape and stop" `Quick test_metrics_server ] );
+        [
+          Alcotest.test_case "scrape and stop" `Quick test_metrics_server;
+          Alcotest.test_case "restart on same path" `Quick
+            test_metrics_server_restart;
+          Alcotest.test_case "stale socket reclaimed" `Quick
+            test_metrics_server_stale_socket;
+          Alcotest.test_case "non-socket path refused" `Quick
+            test_metrics_server_refuses_non_socket;
+        ] );
     ]

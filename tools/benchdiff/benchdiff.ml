@@ -58,10 +58,16 @@ let die fmt = Printf.ksprintf (fun m -> prerr_endline ("benchdiff: " ^ m); exit 
 
 let read_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      match really_input_string ic len with
+      | s -> s
+      (* a file shrinking between the length query and the read (e.g. a
+         bench run truncated mid-write) must be a diagnostic, not a
+         backtrace *)
+      | exception End_of_file -> die "%s: truncated while reading" path)
 
 let jint json field = Option.bind (J.member field json) J.to_int
 let jfloat json field = Option.bind (J.member field json) J.to_float
@@ -301,7 +307,7 @@ let print_json ~regressions ~compared rows =
   Buffer.add_string b "]}\n";
   print_string (Buffer.contents b)
 
-let () =
+let main () =
   let base_files = ref [] and new_files = ref [] in
   let wall_pct = ref 30.0
   and rounds_tol = ref 0
@@ -389,3 +395,11 @@ let () =
       (if regressions = 1 then "" else "s")
   end;
   if regressions > 0 then exit 1
+
+(* exit protocol: 0 clean, 1 regression, 2 anything wrong with the tool
+   or its inputs — CI must be able to tell "gate tripped" from "gate
+   broke", so no code path may escape as a raw exception *)
+let () =
+  try main () with
+  | Sys_error msg -> die "%s" msg
+  | exn -> die "internal error: %s" (Printexc.to_string exn)

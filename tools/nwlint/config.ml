@@ -140,6 +140,25 @@ let rules =
       Diagnostic.Error,
       "no new boxed-tuple adjacency planes ((int * int) array array) in \
        lib/ — adjacency lives in the Csr/Multigraph backends" );
+    ( "RACE001",
+      Diagnostic.Error,
+      "no writes to global refs or the Store reachable from a Dpool.run \
+       / Domain.spawn / sharded Msg_net round callback (route through \
+       Domain.DLS, per-shard state, or an allowlisted accumulator) \
+       [--flow]" );
+    ( "RACE002",
+      Diagnostic.Error,
+      "Domain.DLS keys are created at module top level only, and the \
+       deterministic merge phase never reads DLS [--flow]" );
+    ( "CONTRACT001",
+      Diagnostic.Error,
+      "every registered pass touches exactly the Store keys its \
+       reads/writes contract declares — no undeclared accesses, no dead \
+       entries [--flow]" );
+    ( "EFF001",
+      Diagnostic.Error,
+      "no IO, wall-clock, or unseeded randomness reachable from pass \
+       bodies or proved-pure functions [--flow]" );
     ("PARSE001", Diagnostic.Error, "source file failed to parse");
     ( "SUPP001",
       Diagnostic.Error,
@@ -151,6 +170,11 @@ let rules =
   ]
 
 let known_rule id = List.exists (fun (r, _, _) -> String.equal r id) rules
+
+(* interprocedural rules run by the --flow layer (tools/nwlint/flow);
+   the per-file engine must not flag their suppressions as unused *)
+let flow_rules = [ "RACE001"; "RACE002"; "CONTRACT001"; "EFF001" ]
+let flow_rule id = List.mem id flow_rules
 
 (* rule ids a file-level suppression may target (the analysis rules;
    suppression hygiene itself cannot be suppressed) *)

@@ -677,6 +677,9 @@ let apply_suppressions ~file directives diags =
     (fun (d : Suppress.directive) ->
       if d.justified && not d.used
          && List.for_all Lint_config.suppressible d.rules
+         (* flow-rule suppressions are consumed by the interprocedural
+            layer, which this per-file engine cannot see *)
+         && not (List.exists Lint_config.flow_rule d.rules)
       then
         add_supp d.line "SUPP002" Warning
           (Printf.sprintf "suppression of %s never fired — remove it"
