@@ -694,6 +694,79 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Re-verify a saved decomposition against a graph.")
     Term.(const verify_run $ graph_pos $ coloring_pos $ star $ lists)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_run socket domains serve_metrics =
+  (* daemon-side failures use the same one-line JSON stderr diagnostic
+     shape as the chaos path: machine-consumable, Json_lite-escaped,
+     paired with a distinctive exit code (2 = CLI misuse, 3 = runtime
+     failure, matching decompose) *)
+  let diagnostic ~error ~detail code =
+    Printf.eprintf "{\"error\":%s,\"socket\":%s,\"detail\":%s}\n"
+      (Jmit.string_value error) (Jmit.string_value socket)
+      (Jmit.string_value detail);
+    exit code
+  in
+  match
+    Nw_service.Server.serve
+      {
+        Nw_service.Server.socket_path = socket;
+        domains;
+        metrics_socket = serve_metrics;
+      }
+  with
+  | () -> ()
+  | exception Invalid_argument detail ->
+      (* --socket (or --serve-metrics) refused: the path exists and is
+         not a socket, so it is not ours to unlink *)
+      diagnostic ~error:"bad-socket-path" ~detail 2
+  | exception Nw_service.Server.Server_error detail ->
+      diagnostic ~error:"server-failed" ~detail 3
+  | exception Unix.Unix_error (e, fn, _) ->
+      diagnostic ~error:"server-failed"
+        ~detail:(fn ^ ": " ^ Unix.error_message e)
+        3
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix socket to listen on (nw-wire/1 frames; see \
+             docs/service.md). A stale socket file left by a dead daemon \
+             is reclaimed; any other existing file is refused with a \
+             JSON diagnostic and exit 2.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"K"
+          ~doc:
+            "Persistent worker-pool size for batch requests. Served \
+             outputs are byte-identical across K.")
+  in
+  let serve_metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "serve-metrics" ] ~docv:"SOCK"
+          ~doc:
+            "Also serve the live request-latency histograms and counters \
+             in Prometheus text format over a second Unix socket at SOCK \
+             (scrape with curl --unix-socket SOCK http://localhost/).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the decomposition daemon: named dynamic-graph sessions, \
+          incremental edge churn, batch decompose/orient via the \
+          registry, over a Unix socket.")
+    Term.(const serve_run $ socket $ domains $ serve_metrics)
+
 let () =
   let doc = "Nash-Williams forest decomposition in the LOCAL model" in
   exit
@@ -706,4 +779,5 @@ let () =
             stats_cmd;
             verify_cmd;
             list_cmd;
+            serve_cmd;
           ]))

@@ -378,6 +378,14 @@ let oracle_would_close_cycle t e c =
   let u, v = G.endpoints t.g e in
   bfs_color t c u v e <> None
 
+let connected t c u v =
+  if c < 0 || c >= t.colors then
+    invalid_arg "Coloring.connected: color out of range";
+  let n = G.n t.g in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Coloring.connected: vertex out of range";
+  u = v || uf_connected t c u v
+
 let unset t e =
   let c = t.assign.(e) in
   if c >= 0 then begin
@@ -513,6 +521,57 @@ let of_array g ~colors a =
   t
 
 let copy t = of_array t.g ~colors:t.colors (to_array t)
+
+(* Transplant a live coloring onto a supergraph without disturbing the
+   per-color caches: every per-edge array is blitted into a larger one
+   (new ids start unlinked/uncolored), every per-color per-vertex array is
+   copied as-is, and only the BFS scratch is reset (mark semantics are
+   "equal to the current stamp", so zeroed marks with stamp 0 are clean —
+   the stamp is bumped before first use). Nothing here re-unions or runs
+   a BFS, so union-find state, generation counters and rooted forests all
+   survive; the cost is the copies, O(m' + colors * n). *)
+let extend t g' =
+  let n = G.n t.g and m = G.m t.g in
+  let m' = G.m g' in
+  if G.n g' <> n then invalid_arg "Coloring.extend: vertex set changed";
+  if m' < m then invalid_arg "Coloring.extend: edge set shrank";
+  for e = 0 to m - 1 do
+    let u, v = G.endpoints t.g e in
+    let u', v' = G.endpoints g' e in
+    if u <> u' || v <> v' then
+      invalid_arg "Coloring.extend: existing edge ids not preserved"
+  done;
+  let grow a len pad =
+    let b = Array.make len pad in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  in
+  {
+    g = g';
+    colors = t.colors;
+    assign = grow t.assign m' (-1);
+    colored = t.colored;
+    head = Array.map Array.copy t.head;
+    nxt = grow t.nxt (2 * m') (-1);
+    prv = grow t.prv (2 * m') (-1);
+    ehead = Array.copy t.ehead;
+    enxt = grow t.enxt m' (-1);
+    eprv = grow t.eprv m' (-1);
+    ecount = Array.copy t.ecount;
+    uf_parent = Array.map Array.copy t.uf_parent;
+    uf_size = Array.map Array.copy t.uf_size;
+    uf_edges = Array.map Array.copy t.uf_edges;
+    uf_gen = Array.copy t.uf_gen;
+    uf_built = Array.copy t.uf_built;
+    fp_vertex = Array.map Array.copy t.fp_vertex;
+    fp_edge = Array.map Array.copy t.fp_edge;
+    fp_depth = Array.map Array.copy t.fp_depth;
+    mark = Array.make n 0;
+    via = Array.make n (-1);
+    pred = Array.make n (-1);
+    qbuf = Array.make n 0;
+    stamp = 0;
+  }
 
 let subgraph t c =
   let keep = Array.map (fun c' -> c' = c) t.assign in

@@ -97,6 +97,23 @@ val of_array : Nw_graphs.Multigraph.t -> colors:int -> int option array -> t
 
 val copy : t -> t
 
+(** [extend t g'] transplants a live coloring onto [g'], a supergraph of
+    [graph t] on the same vertex set whose first [m] edge ids carry the
+    same endpoints; the new edge ids start uncolored. The per-color
+    union-find and rooted spanning forests carry over untouched, so the
+    cost is the array copies — O(m' + colors·n) — never a re-union or a
+    BFS. This is the dynamic-graph entry point of the service layer: an
+    edge insertion extends the coloring, then probes colors with
+    {!connected} instead of re-running a decomposition.
+    @raise Invalid_argument when [g'] is not such a supergraph. *)
+val extend : t -> Nw_graphs.Multigraph.t -> t
+
+(** [connected t c u v]: are [u] and [v] connected inside the color-[c]
+    forest? O(α(n)) amortized via the per-color union-find. Coloring a
+    fresh [u]–[v] edge with [c] is safe iff [not (connected t c u v)].
+    @raise Invalid_argument on an out-of-range color or vertex. *)
+val connected : t -> int -> int -> int -> bool
+
 (** [subgraph t c] is the color-[c] forest as a graph on all of [g]'s
     vertices, with the map from new edge ids to original ids. *)
 val subgraph : t -> int -> Nw_graphs.Multigraph.t * int array

@@ -27,14 +27,15 @@ let unlink_existing path =
 (* reclaim a stale socket file (a previous server that died before its
    [stop] could unlink) so a restart never sees EADDRINUSE — but refuse
    to delete anything that is not a socket: that is someone else's file
-   and silently unlinking it would be data loss *)
-let unlink_stale path =
+   and silently unlinking it would be data loss. Exported so every
+   Unix-socket listener in the tree (the service daemon included) shares
+   one reclaim policy instead of growing its own unlink. *)
+let reclaim_socket_path ~whom path =
   match Unix.stat path with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> unlink_existing path
   | _ ->
       invalid_arg
-        (Printf.sprintf
-           "Metrics_server.start: %s exists and is not a socket" path)
+        (Printf.sprintf "%s: %s exists and is not a socket" whom path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
 let write_all fd s =
@@ -72,7 +73,7 @@ let serve_client provider client =
       with Unix.Unix_error _ -> ())
 
 let start ~path provider =
-  unlink_stale path;
+  reclaim_socket_path ~whom:"Metrics_server.start" path;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd 8;

@@ -14,6 +14,14 @@
 
 type t
 
+(** [reclaim_socket_path ~whom path] unlinks a stale socket file left at
+    [path] by a listener that died before unlinking it, so a rebind never
+    fails with EADDRINUSE. A missing file is fine; anything at [path]
+    that is not a socket raises [Invalid_argument] ("[whom]: ... exists
+    and is not a socket") instead of being deleted — that is someone
+    else's file. Shared by {!start} and the service daemon's listener. *)
+val reclaim_socket_path : whom:string -> string -> unit
+
 val start : path:string -> (unit -> string) -> t
 
 (** Close the listener, join the server domain, unlink the socket

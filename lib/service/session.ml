@@ -1,0 +1,415 @@
+module G = Nw_graphs.Multigraph
+module Orientation = Nw_graphs.Orientation
+module Rounds = Nw_localsim.Rounds
+module Coloring = Nw_decomp.Coloring
+module Verify = Nw_decomp.Verify
+module Obs = Nw_obs.Obs
+module Plan = Nw_chaos.Plan
+module Harness = Nw_chaos.Harness
+module Registry = Nw_engine.Registry
+module Engine = Nw_engine.Engine
+module EStore = Nw_engine.Store
+module Artifact = Nw_engine.Artifact
+
+(* the batch parameters behind the live coloring, remembered so the
+   churn fallback can re-run the same decomposition on the mutated
+   graph. [b_alpha] keeps the caller's option: when it was omitted the
+   fallback re-resolves the exact arboricity of the *new* graph rather
+   than reusing a bound the mutations may have invalidated. *)
+type batch = {
+  b_entry : Registry.entry;
+  b_epsilon : float;
+  b_seed : int;
+  b_alpha : int option;
+}
+
+type t = {
+  s_name : string;
+  s_n : int;
+  mutable s_epoch : int;
+  s_builder : G.builder;  (* slot table; append-only *)
+  mutable s_graph : G.t;  (* over all slots, dead ones included *)
+  mutable s_live : bool array;  (* slot -> not tombstoned *)
+  mutable s_slots : int;
+  mutable s_live_count : int;
+  mutable s_col : Coloring.t option;  (* live incremental coloring *)
+  mutable s_palette : int;  (* color budget of [s_col] *)
+  mutable s_batch : batch option;
+  mutable s_chaos : (Plan.t * int) option;
+  mutable s_incremental : int;
+  mutable s_fallbacks : int;
+}
+
+let name t = t.s_name
+let epoch t = t.s_epoch
+let vertex_count t = t.s_n
+let live_edges t = t.s_live_count
+let total_slots t = t.s_slots
+let incremental_updates t = t.s_incremental
+let fallbacks t = t.s_fallbacks
+
+let last_algorithm t =
+  Option.map (fun b -> b.b_entry.Registry.name) t.s_batch
+
+let valid_edge ~n u v =
+  if u < 0 || u >= n || v < 0 || v >= n then
+    Error (Printf.sprintf "endpoint out of range (n = %d)" n)
+  else if Int.equal u v then Error "self-loops are not allowed"
+  else Ok ()
+
+let create ~name ~n ~edges =
+  if n < 0 then invalid_arg "Session.create: negative vertex count";
+  let builder = G.create_builder n in
+  List.iter
+    (fun (u, v) ->
+      match valid_edge ~n u v with
+      | Ok () -> ignore (G.add_edge builder u v)
+      | Error e -> invalid_arg ("Session.create: " ^ e))
+    edges;
+  let graph = G.build builder in
+  let slots = G.m graph in
+  let live = Array.make (max 16 slots) false in
+  for s = 0 to slots - 1 do
+    live.(s) <- true
+  done;
+  {
+    s_name = name;
+    s_n = n;
+    s_epoch = 1;
+    s_builder = builder;
+    s_graph = graph;
+    s_live = live;
+    s_slots = slots;
+    s_live_count = slots;
+    s_col = None;
+    s_palette = 0;
+    s_batch = None;
+    s_chaos = None;
+    s_incremental = 0;
+    s_fallbacks = 0;
+  }
+
+let arm_chaos t ~plan ~chaos_seed = t.s_chaos <- Some (plan, chaos_seed)
+let chaos_armed t = Option.is_some t.s_chaos
+
+(* recoverable daemon-side failures; resource-exhaustion panics are not
+   something a retry or an error frame can answer honestly *)
+let survivable = function Out_of_memory | Stack_overflow -> false | _ -> true
+
+let ensure_live_capacity t k =
+  let cap = Array.length t.s_live in
+  if k > cap then begin
+    let fresh = Array.make (max k (2 * cap)) false in
+    Array.blit t.s_live 0 fresh 0 cap;
+    t.s_live <- fresh
+  end
+
+(* compact the live slots into a standalone graph; [slotmap] sends each
+   compact edge id back to its slot *)
+let live_graph t =
+  let b = G.create_builder t.s_n in
+  let slotmap = Array.make (max 1 t.s_live_count) (-1) in
+  let j = ref 0 in
+  for s = 0 to t.s_slots - 1 do
+    if t.s_live.(s) then begin
+      let u, v = G.endpoints t.s_graph s in
+      ignore (G.add_edge b u v);
+      slotmap.(!j) <- s;
+      incr j
+    end
+  done;
+  (G.build b, slotmap)
+
+(* ------------------------------------------------------------------ *)
+(* batch work                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type output =
+  | Colored of { slot_colors : int array; colors_used : int }
+  | Oriented of { heads : int array; max_out_degree : int }
+  | Pseudo of { slot_colors : int array; k : int }
+
+type chaos_summary = {
+  cs_valid : int;
+  cs_detected : int;
+  cs_corrupt : int;
+  cs_recoveries : int;
+}
+
+type decomposed = {
+  d_output : output;
+  d_epoch : int;
+  d_alpha : int;
+  d_verified : (unit, string) result;
+  d_chaos : chaos_summary option;
+}
+
+(* same checkers the engine smoke gate applies per yields kind *)
+let verify_output ~entry ~gl ~epsilon ~alpha store =
+  match entry.Registry.yields with
+  | Registry.Coloring_out ->
+      let c = EStore.coloring store "coloring" in
+      if entry.Registry.star then Verify.star_forest_decomposition c
+      else Verify.forest_decomposition c
+  | Registry.Orientation_out ->
+      let o = EStore.orientation store "orientation" in
+      let bound =
+        int_of_float (ceil ((1. +. epsilon) *. float_of_int alpha))
+      in
+      Verify.orientation_out_degree o bound
+  | Registry.Pseudo_out ->
+      let a, k = EStore.assignment store "assignment" in
+      Verify.pseudo_forest_assignment gl a ~k
+
+let extract_output ~entry ~slots ~slotmap store =
+  match entry.Registry.yields with
+  | Registry.Coloring_out ->
+      let c = EStore.coloring store "coloring" in
+      let slot_colors = Array.make slots (-1) in
+      Array.iteri
+        (fun e s ->
+          match Coloring.color c e with
+          | Some col -> slot_colors.(s) <- col
+          | None -> ())
+        slotmap;
+      Colored { slot_colors; colors_used = Verify.colors_used c }
+  | Registry.Orientation_out ->
+      let o = EStore.orientation store "orientation" in
+      let heads = Array.make slots (-1) in
+      Array.iteri (fun e s -> heads.(s) <- Orientation.head o e) slotmap;
+      Oriented { heads; max_out_degree = Orientation.max_out_degree o }
+  | Registry.Pseudo_out ->
+      let a, _k = EStore.assignment store "assignment" in
+      let slot_colors = Array.make slots (-1) in
+      Array.iteri (fun e s -> slot_colors.(s) <- a.(e)) slotmap;
+      Pseudo { slot_colors; k = _k }
+
+(* install a verified forest decomposition as the live incremental
+   coloring over the slot graph. The palette is exactly the colors the
+   batch run used: churn must stay inside the advertised budget, and
+   when it cannot, the session *falls back* instead of silently widening
+   the decomposition. *)
+let install t output verified =
+  match (output, verified) with
+  | Colored { slot_colors; colors_used }, Ok () ->
+      let palette = max 1 colors_used in
+      let col = Coloring.create t.s_graph ~colors:palette in
+      Array.iteri
+        (fun s c -> if c >= 0 && t.s_live.(s) then Coloring.set col s c)
+        slot_colors;
+      t.s_col <- Some col;
+      t.s_palette <- palette
+  | _ ->
+      t.s_col <- None;
+      t.s_palette <- 0
+
+let decompose t ~entry ~epsilon ~seed ~alpha =
+  if Int.equal t.s_live_count 0 then Error "session has no live edges"
+  else begin
+    let gl, slotmap = live_graph t in
+    let alpha_v =
+      match alpha with
+      | Some a -> a
+      | None -> fst (Nw_baseline.Gabow_westermann.arboricity gl)
+    in
+    let pipeline =
+      entry.Registry.build { Registry.graph = gl; epsilon; alpha = alpha_v }
+    in
+    (* the exact one-shot sequence of [forestd decompose]: a fresh seeded
+       RNG, a fresh rounds ledger, the graph under "graph" — so the
+       served output is byte-identical to the CLI on the same graph *)
+    let run_attempt ~resume ~save =
+      let rng = Random.State.make [| seed |] in
+      let rounds = Rounds.create () in
+      let ctx = Engine.ctx ~rng ~rounds in
+      let init = EStore.put EStore.empty "graph" (Artifact.Graph gl) in
+      Engine.run ?resume ~checkpoint:save ctx pipeline ~init
+    in
+    let verify = verify_output ~entry ~gl ~epsilon ~alpha:alpha_v in
+    let finish store chaos_summary =
+      let output = extract_output ~entry ~slots:t.s_slots ~slotmap store in
+      let verified = verify store in
+      t.s_epoch <- t.s_epoch + 1;
+      t.s_batch <-
+        Some { b_entry = entry; b_epsilon = epsilon; b_seed = seed;
+               b_alpha = alpha };
+      install t output verified;
+      Ok
+        {
+          d_output = output;
+          d_epoch = t.s_epoch;
+          d_alpha = alpha_v;
+          d_verified = verified;
+          d_chaos = chaos_summary;
+        }
+    in
+    match t.s_chaos with
+    | Some (plan, chaos_seed) ->
+        (* the PR4 harness runs the attempt(s): fault compilation, the
+           retry policy, resumable engine checkpoints, and the
+           valid/detected/corrupt classification the response carries *)
+        let last_store = ref None in
+        let report =
+          Harness.run_epochs_resumable ~plan ~seed:chaos_seed ~epochs:1
+            ~verify
+            ~run:(fun ~resume ~save ->
+              let store = run_attempt ~resume ~save in
+              last_store := Some store;
+              store)
+            ()
+        in
+        let summary =
+          {
+            cs_valid = report.Harness.valid;
+            cs_detected = report.Harness.detected;
+            cs_corrupt = report.Harness.corrupt;
+            cs_recoveries = report.Harness.recoveries;
+          }
+        in
+        (match !last_store with
+        | Some store -> finish store (Some summary)
+        | None ->
+            Error
+              (Printf.sprintf
+                 "chaos: decomposition killed before any pass completed \
+                  (valid=%d detected=%d corrupt=%d)"
+                 summary.cs_valid summary.cs_detected summary.cs_corrupt))
+    | None -> (
+        (* fault-free path, still checkpointed: a survivable failure
+           resumes once from the newest pass boundary before giving up *)
+        let saved = ref None in
+        let save ck = saved := Some ck in
+        match run_attempt ~resume:None ~save with
+        | store -> finish store None
+        | exception exn when survivable exn -> (
+            match run_attempt ~resume:!saved ~save with
+            | store -> finish store None
+            | exception exn' when survivable exn' ->
+                Error
+                  (Printf.sprintf "decomposition failed: %s (resumed \
+                                   retry: %s)"
+                     (Printexc.to_string exn) (Printexc.to_string exn'))))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* edge churn                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Incremental | Fallback
+
+let mode_label = function
+  | Incremental -> "incremental"
+  | Fallback -> "fallback"
+
+type churn = {
+  ch_edge : int;
+  ch_color : int option;
+  ch_mode : mode;
+  ch_epoch : int;
+}
+
+(* the validity re-check behind every incremental answer: inside the
+   maintained cache, the touched component must still satisfy the forest
+   invariant (edges = vertices - 1) *)
+let forest_ok col v c =
+  let ec = Coloring.component_edge_count col v c in
+  let sz = Coloring.component_size col v c in
+  Int.equal ec (sz - 1)
+
+(* full re-decomposition with the remembered batch parameters — the
+   cache declined (no admissible color, or the re-check failed) *)
+let fallback_rebuild t ~slot ~released =
+  t.s_fallbacks <- t.s_fallbacks + 1;
+  Obs.count "service.fallbacks";
+  match t.s_batch with
+  | None -> Error "no batch parameters to fall back to"
+  | Some b -> (
+      match
+        decompose t ~entry:b.b_entry ~epsilon:b.b_epsilon ~seed:b.b_seed
+          ~alpha:b.b_alpha
+      with
+      | Error e ->
+          t.s_col <- None;
+          Error ("fallback re-decomposition failed: " ^ e)
+      | Ok _ ->
+          let color =
+            match (released, t.s_col) with
+            | Some c, _ -> Some c
+            | None, Some col -> Coloring.color col slot
+            | None, None -> None
+          in
+          Ok
+            {
+              ch_edge = slot;
+              ch_color = color;
+              ch_mode = Fallback;
+              ch_epoch = t.s_epoch;
+            })
+
+let incremental_ok t ~slot ~color =
+  t.s_incremental <- t.s_incremental + 1;
+  Obs.count "service.incremental_updates";
+  Ok { ch_edge = slot; ch_color = color; ch_mode = Incremental;
+       ch_epoch = t.s_epoch }
+
+let insert_edge t ~u ~v =
+  match valid_edge ~n:t.s_n u v with
+  | Error e -> Error e
+  | Ok () -> (
+      let slot = G.add_edge t.s_builder u v in
+      ensure_live_capacity t (slot + 1);
+      t.s_live.(slot) <- true;
+      t.s_slots <- slot + 1;
+      t.s_live_count <- t.s_live_count + 1;
+      t.s_graph <- G.build t.s_builder;
+      t.s_epoch <- t.s_epoch + 1;
+      match t.s_col with
+      | None ->
+          (* no live decomposition: the append is structural only *)
+          incremental_ok t ~slot ~color:None
+      | Some col -> (
+          (* carry the whole cache onto the grown graph, then probe the
+             palette: color c admits the edge iff u and v are not
+             already connected in forest c — O(palette · α(n)) against
+             the union-find, no BFS, no pipeline *)
+          let col = Coloring.extend col t.s_graph in
+          t.s_col <- Some col;
+          let rec probe c =
+            if c >= t.s_palette then None
+            else if not (Coloring.connected col c u v) then Some c
+            else probe (c + 1)
+          in
+          match probe 0 with
+          | Some c ->
+              Coloring.set col slot c;
+              if forest_ok col u c then incremental_ok t ~slot ~color:(Some c)
+              else begin
+                (* cache inconsistency: unwind this edge and rebuild *)
+                Coloring.unset col slot;
+                fallback_rebuild t ~slot ~released:None
+              end
+          | None -> fallback_rebuild t ~slot ~released:None))
+
+let delete_edge t ~edge =
+  if edge < 0 || edge >= t.s_slots then
+    Error (Printf.sprintf "unknown edge %d" edge)
+  else if not t.s_live.(edge) then
+    Error (Printf.sprintf "edge %d already deleted" edge)
+  else begin
+    t.s_live.(edge) <- false;
+    t.s_live_count <- t.s_live_count - 1;
+    t.s_epoch <- t.s_epoch + 1;
+    match t.s_col with
+    | None -> incremental_ok t ~slot:edge ~color:None
+    | Some col -> (
+        match Coloring.color col edge with
+        | None -> incremental_ok t ~slot:edge ~color:None
+        | Some c ->
+            let u, _ = G.endpoints t.s_graph edge in
+            Coloring.unset col edge;
+            (* deletion only shrinks forests, but the re-check still
+               guards the lazily rebuilt cache before the next probe
+               trusts it *)
+            if forest_ok col u c then incremental_ok t ~slot:edge ~color:(Some c)
+            else fallback_rebuild t ~slot:edge ~released:(Some c))
+  end

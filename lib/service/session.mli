@@ -1,0 +1,120 @@
+(** Named dynamic-graph sessions behind the daemon.
+
+    A session owns a growing edge-slot table over a fixed vertex set:
+    insertions append a slot, deletions tombstone one (slot ids — the
+    wire protocol's edge ids — are never reused), and every mutation or
+    re-decomposition bumps the session {e epoch}, so a client can order
+    responses and detect staleness.
+
+    Batch requests ([decompose]/[orient]) compact the live slots into a
+    fresh graph and run the named {!Nw_engine.Registry} entry through
+    the engine exactly as one-shot [forestd decompose] does — same RNG
+    construction, same alpha resolution, same pipeline — so a served
+    response is byte-identical to the one-shot path on the same graph.
+
+    After a forest decomposition, edge churn is answered
+    {e incrementally}: the live {!Nw_decomp.Coloring} is
+    {!Nw_decomp.Coloring.extend}ed onto the grown graph and the new edge
+    probes the existing palette with {!Nw_decomp.Coloring.connected}
+    (O(α(n)) amortized per color, against the PR1 per-color union-find).
+    A successful probe is validity re-checked against the forest
+    invariant (component edge count = component size − 1 in the cache);
+    if no color admits the edge or the re-check fails, the session falls
+    back to a full re-decomposition with the remembered batch
+    parameters — the fallback saves engine checkpoints as it goes and
+    resumes from the last pass boundary if an attempt dies. Chaos plans
+    armed on the session run batch work under
+    {!Nw_chaos.Harness.run_epochs_resumable}, so every served response
+    carries the harness's valid/detected/corrupt classification. *)
+
+type t
+
+(** [create ~name ~n ~edges] is a fresh session at epoch 1.
+    @raise Invalid_argument on an endpoint out of range or a self-loop
+    (callers validate first; see {!valid_edge}). *)
+val create : name:string -> n:int -> edges:(int * int) list -> t
+
+val name : t -> string
+val epoch : t -> int
+val vertex_count : t -> int
+
+(** Live (non-tombstoned) edge slots. *)
+val live_edges : t -> int
+
+(** All slots ever allocated, dead ones included. *)
+val total_slots : t -> int
+
+val incremental_updates : t -> int
+val fallbacks : t -> int
+
+(** Wire name of the algorithm behind the live coloring, if any. *)
+val last_algorithm : t -> string option
+
+(** [valid_edge ~n u v] checks endpoint range and non-self-loop. *)
+val valid_edge : n:int -> int -> int -> (unit, string) result
+
+val arm_chaos : t -> plan:Nw_chaos.Plan.t -> chaos_seed:int -> unit
+val chaos_armed : t -> bool
+
+(** {1 Batch work} *)
+
+type output =
+  | Colored of { slot_colors : int array; colors_used : int }
+      (** per-slot colors, [-1] for dead or uncolored slots *)
+  | Oriented of { heads : int array; max_out_degree : int }
+      (** per-slot head vertex, [-1] for dead slots *)
+  | Pseudo of { slot_colors : int array; k : int }
+
+type chaos_summary = {
+  cs_valid : int;
+  cs_detected : int;
+  cs_corrupt : int;
+  cs_recoveries : int;
+}
+
+type decomposed = {
+  d_output : output;
+  d_epoch : int;
+  d_alpha : int;  (** the bound actually used (resolved when omitted) *)
+  d_verified : (unit, string) result;
+  d_chaos : chaos_summary option;  (** present iff a plan is armed *)
+}
+
+(** Run a registry entry over the compacted live graph. [alpha:None]
+    resolves the exact arboricity like the CLI does. A [Colored] result
+    becomes the session's live incremental coloring (palette = colors
+    used); [Oriented]/[Pseudo] results clear it. [Error] covers an
+    empty-session decompose and a chaos-killed run (the detail carries
+    the harness classification). *)
+val decompose :
+  t ->
+  entry:Nw_engine.Registry.entry ->
+  epsilon:float ->
+  seed:int ->
+  alpha:int option ->
+  (decomposed, string) result
+
+(** {1 Edge churn} *)
+
+type mode = Incremental | Fallback
+
+val mode_label : mode -> string
+
+type churn = {
+  ch_edge : int;  (** the slot touched *)
+  ch_color : int option;
+      (** color assigned (insert) or released (delete), when a live
+          coloring exists *)
+  ch_mode : mode;
+  ch_epoch : int;
+}
+
+(** Append an edge slot. With a live coloring, extends it and probes the
+    palette; falls back to a full re-decomposition when the cache
+    declines. Without one, the append is structural only. *)
+val insert_edge : t -> u:int -> v:int -> (churn, string) result
+
+(** Tombstone a slot. With a live coloring this is a pure cache
+    operation (unset + lazy invalidation) followed by the forest
+    invariant re-check; it never needs the fallback. *)
+val delete_edge : t -> edge:int -> (churn, string) result

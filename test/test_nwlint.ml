@@ -311,6 +311,35 @@ let eng =
          let f g = Nw_core.Forest_algo.partial_color g" );
   ]
 
+(* --- SVC001 ------------------------------------------------------- *)
+
+let svc =
+  [
+    ( "positive: direct Store access in a request handler",
+      check_fires "SVC001" ~path:"lib/service/server.ml"
+        "let peek st = Nw_engine.Store.find st \"coloring\"" );
+    ( "positive: Store through a module alias",
+      check_fires "SVC001" ~path:"lib/service/server.ml"
+        "module Store = Nw_engine.Store\n\
+         let peek st = Store.find st \"coloring\"" );
+    ( "positive: any non-session file under lib/service",
+      check_fires "SVC001" ~path:"lib/service/wire.ml"
+        "let clobber st v = Nw_engine.Store.set st \"graph\" v" );
+    ( "negative: session.ml is the sanctioned owner",
+      check_silent "SVC001" ~path:"lib/service/session.ml"
+        "let peek st = Nw_engine.Store.find st \"coloring\"" );
+    ( "negative: Store use outside lib/service",
+      check_silent "SVC001" ~path:"lib/engine/fixture.ml"
+        "let peek st = Nw_engine.Store.find st \"coloring\"" );
+    ( "negative: handlers go through the Session API",
+      check_silent "SVC001" ~path:"lib/service/server.ml"
+        "let run s entry = Session.decompose s ~entry" );
+    ( "suppressed",
+      check_silent "SVC001" ~path:"lib/service/server.ml"
+        "(* nwlint:disable SVC001 -- fixture justification *)\n\
+         let peek st = Nw_engine.Store.find st \"coloring\"" );
+  ]
+
 (* --- PERF001 / PERF002 -------------------------------------------- *)
 
 let perf =
@@ -419,6 +448,7 @@ let () =
       ("exn001", List.map tc exn);
       ("pure001", List.map tc pure);
       ("eng001", List.map tc eng);
+      ("svc001", List.map tc svc);
       ("perf", List.map tc perf);
       ("hygiene", List.map tc hygiene);
       ("self-check", [ Alcotest.test_case "repo lib/ is clean" `Quick self_check ]);

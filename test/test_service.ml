@@ -1,0 +1,466 @@
+(* nw-wire/1 + daemon-core tests (lib/service).
+
+   Four contracts are pinned here without opening a socket:
+
+   - framing: length-prefixed frames round-trip byte-exactly, including
+     payloads carrying hostile strings (quotes, control bytes, raw
+     newlines inside the frame body), and every desynchronized prefix is
+     a Wire.Protocol_error, never a crash or a silent resync;
+   - the request handler: malformed payloads are answered with
+     ok:false error frames and the server state stays fully usable
+     afterwards (the daemon never dies with a connection);
+   - the session model: epochs grow strictly monotonically across every
+     mutating request, and churn answers are incremental exactly when a
+     palette color admits the edge, with a correct fallback otherwise;
+   - golden equivalence: a served decompose is byte-identical to the
+     one-shot engine sequence forestd runs for the same graph and seed,
+     and Coloring.extend/connected agree with a from-scratch oracle. *)
+
+module G = Nw_graphs.Multigraph
+module Gen = Nw_graphs.Generators
+module Coloring = Nw_decomp.Coloring
+module Verify = Nw_decomp.Verify
+module Rounds = Nw_localsim.Rounds
+module Engine = Nw_engine.Engine
+module Store = Nw_engine.Store
+module Artifact = Nw_engine.Artifact
+module Registry = Nw_engine.Registry
+module Wire = Nw_service.Wire
+module Session = Nw_service.Session
+module Server = Nw_service.Server
+module J = Nw_obs.Json_lite
+
+let rng seed = Random.State.make [| seed |]
+
+(* push a string through a real channel pair so read_frame sees exactly
+   what write_frame produced *)
+let channel_round_trip payloads =
+  let fname = Filename.temp_file "nw_wire_test" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove fname with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin fname in
+      List.iter (Wire.write_frame oc) payloads;
+      close_out oc;
+      let ic = open_in_bin fname in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec drain acc =
+            match Wire.read_frame ic with
+            | Some p -> drain (p :: acc)
+            | None -> List.rev acc
+          in
+          drain []))
+
+let read_raw bytes =
+  let fname = Filename.temp_file "nw_wire_test" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove fname with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin fname in
+      output_string oc bytes;
+      close_out oc;
+      let ic = open_in_bin fname in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Wire.read_frame ic))
+
+(* --- framing ------------------------------------------------------- *)
+
+let hostile_strings =
+  [
+    "plain";
+    "with \"quotes\" and \\ backslashes";
+    "control \001 \t bytes";
+    "newline\nin the middle";
+    "unicode \xc3\xa9\xe2\x88\x80 bytes";
+    String.make 300 '{';
+  ]
+
+let frame_round_trip () =
+  let payloads =
+    ""
+    :: "{\"id\":1}"
+    :: List.map (fun s -> "{\"s\":" ^ J.Emit.string_value s ^ "}")
+         hostile_strings
+  in
+  Alcotest.(check (list string))
+    "frames round-trip byte-exactly" payloads
+    (channel_round_trip payloads)
+
+let frame_hostile_parse () =
+  List.iter
+    (fun s ->
+      let payload =
+        Printf.sprintf "{\"id\":7,\"op\":\"load-graph\",\"session\":%s,\
+                        \"n\":2,\"edges\":[[0,1]]}"
+          (J.Emit.string_value s)
+      in
+      match channel_round_trip [ payload ] with
+      | [ back ] -> (
+          match Wire.parse_request back with
+          | Ok { Wire.id = 7; request = Wire.Load_graph { session; _ } } ->
+              Alcotest.(check string) "hostile session survives" s session
+          | Ok _ -> Alcotest.fail "wrong request parsed"
+          | Error e -> Alcotest.fail ("hostile string broke parse: " ^ e))
+      | _ -> Alcotest.fail "frame did not round-trip")
+    hostile_strings
+
+let frame_malformed () =
+  let rejected bytes =
+    match read_raw bytes with
+    | exception Wire.Protocol_error _ -> ()
+    | Some _ -> Alcotest.fail ("accepted malformed frame: " ^ String.escaped bytes)
+    | None -> Alcotest.fail ("EOF instead of error: " ^ String.escaped bytes)
+  in
+  rejected "xyz\n{}\n";              (* unparsable length prefix *)
+  rejected "-4\n{}\n";               (* negative length *)
+  rejected "999999999999\n{}\n";     (* over max_frame_bytes *)
+  rejected "10\n{}\n";               (* truncated payload *)
+  rejected "2\n{}X";                 (* missing newline terminator *)
+  rejected "2\n{}";                  (* truncated terminator *)
+  Alcotest.(check (option string)) "clean EOF is None" None (read_raw "")
+
+let response_builders () =
+  let r = Wire.response_ok ~id:3 [ Wire.str "x" "a\"b"; Wire.int "k" 9 ] in
+  let json = J.parse r in
+  Alcotest.(check (option int)) "id" (Some 3)
+    (Option.bind (J.member "id" json) J.to_int);
+  Alcotest.(check (option string)) "escaped field" (Some "a\"b")
+    (Option.bind (J.member "x" json) J.to_string);
+  let e = Wire.response_error ~id:None ~code:"bad-request" ~detail:"d" in
+  let json = J.parse e in
+  Alcotest.(check bool) "null id" true (J.member "id" json = Some J.Null);
+  Alcotest.(check (option string)) "code" (Some "bad-request")
+    (Option.bind (J.member "error" json) J.to_string);
+  Alcotest.(check string) "int_array renders -1 as null" "[0,null,2]"
+    (Wire.int_array [| 0; -1; 2 |])
+
+(* --- the request handler ------------------------------------------- *)
+
+let state () = Server.create_state ()
+
+let send st payload =
+  let resp, verdict = Server.handle st payload in
+  (match verdict with
+  | `Shutdown -> Alcotest.fail "unexpected shutdown verdict"
+  | `Continue -> ());
+  J.parse resp
+
+let ok_resp json =
+  match J.member "ok" json with Some (J.Bool b) -> b | _ -> false
+
+let req ?(extra = "") ~id op =
+  Printf.sprintf "{\"id\":%d,\"op\":\"%s\"%s}" id op extra
+
+let handler_survives_malformed () =
+  let st = state () in
+  let garbage =
+    [
+      "not json at all";
+      "{\"op\":\"hello\"}";                 (* missing id *)
+      "{\"id\":1,\"op\":\"warp\"}";         (* unknown op *)
+      "{\"id\":2,\"op\":\"decompose\"}";    (* missing fields *)
+      "{\"id\":\"x\",\"op\":\"stats\"}";    (* non-integer id *)
+    ]
+  in
+  List.iter
+    (fun p ->
+      let json = send st p in
+      Alcotest.(check bool)
+        (Printf.sprintf "rejected: %s" p)
+        false (ok_resp json))
+    garbage;
+  (* the state survives: a well-formed request still succeeds and the
+     error tally reflects every rejection *)
+  let json =
+    send st (req ~id:9 "hello" ~extra:(",\"proto\":\"" ^ Wire.proto ^ "\""))
+  in
+  Alcotest.(check bool) "hello works after garbage" true (ok_resp json);
+  Alcotest.(check int) "errors counted" (List.length garbage)
+    (Server.errors st)
+
+let load_extra n edges =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf ",\"session\":\"s\",\"n\":%d,\"edges\":[" n);
+  List.iteri
+    (fun i (u, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "[%d,%d]" u v))
+    edges;
+  Buffer.add_string b "]";
+  Buffer.contents b
+
+let epoch_of json =
+  match Option.bind (J.member "epoch" json) J.to_int with
+  | Some e -> e
+  | None -> Alcotest.fail "response without epoch"
+
+let handler_epoch_monotone () =
+  let st = state () in
+  let json = send st (req ~id:1 "load-graph" ~extra:(load_extra 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ])) in
+  Alcotest.(check bool) "load ok" true (ok_resp json);
+  let e1 = epoch_of json in
+  let batch =
+    ",\"session\":\"s\",\"algorithm\":\"augment\",\"seed\":5,\"alpha\":1"
+  in
+  let epochs =
+    List.map
+      (fun (id, op, extra) ->
+        let json = send st (req ~id op ~extra) in
+        Alcotest.(check bool) (op ^ " ok") true (ok_resp json);
+        epoch_of json)
+      [
+        (2, "decompose", batch);
+        (3, "insert-edge", ",\"session\":\"s\",\"u\":0,\"v\":2");
+        (4, "delete-edge", ",\"session\":\"s\",\"edge\":0");
+        (5, "decompose", batch);
+      ]
+  in
+  let all = e1 :: epochs in
+  List.iteri
+    (fun i e ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "epoch strictly grows at step %d" i)
+          true
+          (e > List.nth all (i - 1)))
+    all
+
+let handler_error_codes () =
+  let st = state () in
+  let code json =
+    Option.value ~default:"?"
+      (Option.bind (J.member "error" json) J.to_string)
+  in
+  let json = send st (req ~id:1 "stats" ~extra:",\"session\":\"ghost\"") in
+  Alcotest.(check string) "unknown session" "unknown-session" (code json);
+  let json = send st (req ~id:2 "load-graph" ~extra:(load_extra 3 [ (0, 1) ])) in
+  Alcotest.(check bool) "load ok" true (ok_resp json);
+  let json =
+    send st
+      (req ~id:3 "decompose" ~extra:",\"session\":\"s\",\"algorithm\":\"nope\"")
+  in
+  Alcotest.(check string) "unknown algorithm" "unknown-algorithm" (code json);
+  let json =
+    send st
+      (req ~id:4 "decompose"
+         ~extra:",\"session\":\"s\",\"algorithm\":\"orientation\"")
+  in
+  Alcotest.(check string) "orientation via decompose" "wrong-op" (code json);
+  let json =
+    send st (req ~id:5 "insert-edge" ~extra:",\"session\":\"s\",\"u\":0,\"v\":9")
+  in
+  Alcotest.(check string) "endpoint range" "bad-edge" (code json)
+
+(* --- golden equivalence with the one-shot engine sequence ----------- *)
+
+let entry name =
+  match Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.fail ("registry lost entry " ^ name)
+
+(* the one-shot sequence of `forestd decompose`, run directly *)
+let one_shot g ~name ~epsilon ~seed ~alpha =
+  let e = entry name in
+  let pipeline = e.Registry.build { Registry.graph = g; epsilon; alpha } in
+  let ctx = Engine.ctx ~rng:(rng seed) ~rounds:(Rounds.create ()) in
+  let init = Store.put Store.empty "graph" (Artifact.Graph g) in
+  let store = Engine.run ctx pipeline ~init in
+  Store.coloring store "coloring"
+
+let served_equals_one_shot () =
+  let g = Gen.forest_union (rng 41) 80 3 in
+  let edges = Array.to_list (G.edges g) in
+  let s = Session.create ~name:"golden" ~n:(G.n g) ~edges in
+  let epsilon = 0.5 and seed = 2021 and alpha = 3 in
+  match
+    Session.decompose s ~entry:(entry "augment") ~epsilon ~seed
+      ~alpha:(Some alpha)
+  with
+  | Error e -> Alcotest.fail ("served decompose failed: " ^ e)
+  | Ok d -> (
+      (match d.Session.d_verified with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("served output unverified: " ^ e));
+      match d.Session.d_output with
+      | Session.Colored { slot_colors; colors_used } ->
+          let expected = one_shot g ~name:"augment" ~epsilon ~seed ~alpha in
+          Alcotest.(check int) "colors_used matches one-shot"
+            (Verify.colors_used expected) colors_used;
+          Array.iteri
+            (fun e c ->
+              Alcotest.(check (option int))
+                (Printf.sprintf "edge %d color" e)
+                (Coloring.color expected e)
+                (if c < 0 then None else Some c))
+            slot_colors
+      | _ -> Alcotest.fail "augment must yield a coloring")
+
+let served_deterministic () =
+  let mk () =
+    let g = Gen.forest_union (rng 43) 60 2 in
+    let s =
+      Session.create ~name:"d" ~n:(G.n g)
+        ~edges:(Array.to_list (G.edges g))
+    in
+    match
+      Session.decompose s ~entry:(entry "augment") ~epsilon:0.5 ~seed:7
+        ~alpha:(Some 2)
+    with
+    | Ok { Session.d_output = Session.Colored { slot_colors; _ }; _ } ->
+        slot_colors
+    | Ok _ -> Alcotest.fail "expected a coloring"
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (array int)) "same seed, same served bytes" (mk ()) (mk ())
+
+(* --- churn: incremental vs fallback -------------------------------- *)
+
+let churn_incremental_then_fallback () =
+  (* line multigraph on 2 vertices with 3 parallel edges: α = 3 exactly
+     and every forest holds exactly one of the parallel edges, so the
+     palette has no room for a fourth — the next insert must fall back
+     (and the fallback re-resolves α = 4 on the grown graph) *)
+  let s =
+    Session.create ~name:"c" ~n:2 ~edges:[ (0, 1); (0, 1); (0, 1) ]
+  in
+  (match
+     Session.decompose s ~entry:(entry "exact") ~epsilon:0.5 ~seed:3
+       ~alpha:None
+   with
+  | Ok d -> Alcotest.(check int) "alpha resolved" 3 d.Session.d_alpha
+  | Error e -> Alcotest.fail e);
+  (match Session.insert_edge s ~u:0 ~v:1 with
+  | Ok c ->
+      Alcotest.(check string) "parallel insert falls back" "fallback"
+        (Session.mode_label c.Session.ch_mode)
+  | Error e -> Alcotest.fail ("fallback insert failed: " ^ e));
+  Alcotest.(check int) "fallback counted" 1 (Session.fallbacks s);
+  Alcotest.(check int) "all four edges live" 4 (Session.live_edges s);
+  (* a tree edge on a fresh vertexless spot: trivially incremental *)
+  let s2 =
+    Session.create ~name:"c2" ~n:4 ~edges:[ (0, 1); (1, 2) ]
+  in
+  (match
+     Session.decompose s2 ~entry:(entry "augment") ~epsilon:0.5 ~seed:3
+       ~alpha:(Some 1)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Session.insert_edge s2 ~u:2 ~v:3 with
+  | Ok c ->
+      Alcotest.(check string) "tree insert is incremental" "incremental"
+        (Session.mode_label c.Session.ch_mode)
+  | Error e -> Alcotest.fail e);
+  (match Session.delete_edge s2 ~edge:0 with
+  | Ok c ->
+      Alcotest.(check string) "delete is incremental" "incremental"
+        (Session.mode_label c.Session.ch_mode)
+  | Error e -> Alcotest.fail e);
+  match Session.delete_edge s2 ~edge:0 with
+  | Ok _ -> Alcotest.fail "double delete must be rejected"
+  | Error _ -> ()
+
+(* --- Coloring.extend / connected differential ----------------------- *)
+
+(* naive oracle: u and v are connected in color c iff a DFS over the
+   edges of color c reaches v from u *)
+let oracle_connected g col c u v =
+  let n = G.n g in
+  let adj = Array.make n [] in
+  for e = 0 to G.m g - 1 do
+    if Coloring.color col e = Some c then begin
+      let a, b = G.endpoints g e in
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b)
+    end
+  done;
+  let seen = Array.make n false in
+  let rec dfs x =
+    if not seen.(x) then begin
+      seen.(x) <- true;
+      List.iter dfs adj.(x)
+    end
+  in
+  dfs u;
+  seen.(v)
+
+let extend_connected_differential () =
+  let st = rng 51 in
+  let g = Gen.forest_union st 40 2 in
+  let colors = 3 in
+  let col = Coloring.create g ~colors in
+  (* a valid-by-construction partial coloring: greedily place each edge
+     in the first color whose forest it does not close a cycle in *)
+  for e = 0 to G.m g - 1 do
+    let u, v = G.endpoints g e in
+    let rec place c =
+      if c < colors then
+        if not (Coloring.connected col c u v) then Coloring.set col e c
+        else place (c + 1)
+    in
+    place 0
+  done;
+  (* grow the graph by fresh random edges and carry the cache over *)
+  let b = G.create_builder (G.n g) in
+  Array.iter (fun (u, v) -> ignore (G.add_edge b u v)) (G.edges g);
+  for _ = 1 to 15 do
+    let u = Random.State.int st (G.n g) in
+    let v = (u + 1 + Random.State.int st (G.n g - 1)) mod G.n g in
+    ignore (G.add_edge b u v)
+  done;
+  let g' = G.build b in
+  let col' = Coloring.extend col g' in
+  (* old assignments survive verbatim *)
+  for e = 0 to G.m g - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "edge %d color preserved" e)
+      (Coloring.color col e) (Coloring.color col' e)
+  done;
+  (* connectivity answers match the DFS oracle on the grown graph, for
+     every color, across a seeded sample of vertex pairs *)
+  for _ = 1 to 200 do
+    let u = Random.State.int st (G.n g') in
+    let v = Random.State.int st (G.n g') in
+    for c = 0 to colors - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "connected(%d) %d-%d matches oracle" c u v)
+        (oracle_connected g' col' c u v)
+        (Coloring.connected col' c u v)
+    done
+  done
+
+let () =
+  let tc (name, f) = Alcotest.test_case name `Quick f in
+  Alcotest.run "service"
+    [
+      ( "wire",
+        List.map tc
+          [
+            ("frame round-trip", frame_round_trip);
+            ("hostile strings", frame_hostile_parse);
+            ("malformed frames", frame_malformed);
+            ("response builders", response_builders);
+          ] );
+      ( "handler",
+        List.map tc
+          [
+            ("survives malformed payloads", handler_survives_malformed);
+            ("epoch monotonicity", handler_epoch_monotone);
+            ("error codes", handler_error_codes);
+          ] );
+      ( "golden",
+        List.map tc
+          [
+            ("served = one-shot", served_equals_one_shot);
+            ("served deterministic", served_deterministic);
+          ] );
+      ( "churn",
+        List.map tc
+          [
+            ("incremental vs fallback", churn_incremental_then_fallback);
+            ("extend/connected differential", extend_connected_differential);
+          ] );
+    ]

@@ -18,6 +18,11 @@
                      failure and the base does not
      throughput legs aligned by (backend, domains, edges); regression
                      when edges_per_sec < base * (1 - throughput-threshold%)
+     service         invalid / errors counts must not grow (a served
+                     response that fails client-side validation is a
+                     correctness bug, not noise); per-class p99 latency
+                     is a regression when new > base *
+                     (1 + service-threshold%)
 
    Wall-clock comparisons are skipped (with a note) when the two
    records disagree on quick/domains — the numbers are not comparable.
@@ -34,6 +39,12 @@ type leg = {
   leg_eps : float;
 }
 
+type service = {
+  sv_invalid : int;
+  sv_errors : int;
+  sv_p99 : (string * float) list; (* per request class *)
+}
+
 type run = {
   r_file : string;
   r_exp : string;
@@ -45,13 +56,14 @@ type run = {
   r_conn : (string * int) list;
   r_failed : bool;
   r_legs : leg list;
+  r_service : service option;
 }
 
 let usage () =
   prerr_endline
     "usage: benchdiff --base BENCH.json ... --new BENCH.json ...\n\
     \       [--wall-threshold PCT] [--rounds-tolerance N]\n\
-    \       [--throughput-threshold PCT] [--json]";
+    \       [--throughput-threshold PCT] [--service-threshold PCT] [--json]";
   exit 2
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline ("benchdiff: " ^ m); exit 2) fmt
@@ -100,6 +112,26 @@ let load_run file =
               [ "uf_queries"; "bfs_runs"; "uf_rebuilds" ]
         | _ -> []
       in
+      let service =
+        match J.member "service" json with
+        | Some (J.Obj _ as svc) -> (
+            match (jint svc "invalid", jint svc "errors") with
+            | Some inv, Some errs ->
+                let p99 =
+                  match J.member "latency_ms" svc with
+                  | Some (J.List ls) ->
+                      List.filter_map
+                        (fun l ->
+                          match (jstr l "class", jfloat l "p99") with
+                          | Some cls, Some p -> Some (cls, p)
+                          | _ -> None)
+                        ls
+                  | _ -> []
+                in
+                Some { sv_invalid = inv; sv_errors = errs; sv_p99 = p99 }
+            | _ -> None)
+        | _ -> None
+      in
       let legs =
         match J.member "throughput" json with
         | Some (J.List ls) ->
@@ -144,6 +176,7 @@ let load_run file =
           | None | Some J.Null -> false
           | Some _ -> true);
         r_legs = legs;
+        r_service = service;
       }
 
 let key r =
@@ -163,7 +196,7 @@ let pct_delta base v =
   if base = 0.0 then if v = 0.0 then 0.0 else infinity
   else (v -. base) /. base *. 100.0
 
-let compare_runs ~wall_pct ~rounds_tol ~tp_pct base neu =
+let compare_runs ~wall_pct ~rounds_tol ~tp_pct ~svc_pct base neu =
   let rows = ref [] in
   let push r = rows := r :: !rows in
   let k = key base in
@@ -242,6 +275,41 @@ let compare_runs ~wall_pct ~rounds_tol ~tp_pct base neu =
               row_note = Printf.sprintf "threshold -%g%%" tp_pct;
             })
     base.r_legs;
+  (match (base.r_service, neu.r_service) with
+  | Some bs, Some ns ->
+      (* validity counts gate exactly: a served response that fails
+         client-side validation (or a daemon-side handler error) is a
+         correctness bug, so growth is a regression at any magnitude *)
+      let counter metric b n =
+        push
+          {
+            row_key = k;
+            row_metric = metric;
+            row_base = float_of_int b;
+            row_new = float_of_int n;
+            row_verdict = (if n > b then "regression" else "ok");
+            row_note = "must not grow";
+          }
+      in
+      counter "service.invalid" bs.sv_invalid ns.sv_invalid;
+      counter "service.errors" bs.sv_errors ns.sv_errors;
+      List.iter
+        (fun (cls, bp) ->
+          match List.assoc_opt cls ns.sv_p99 with
+          | None -> ()
+          | Some np ->
+              let limit = bp *. (1.0 +. (svc_pct /. 100.0)) in
+              push
+                {
+                  row_key = Printf.sprintf "%s[%s]" k cls;
+                  row_metric = "service.p99_ms";
+                  row_base = bp;
+                  row_new = np;
+                  row_verdict = (if np > limit then "regression" else "ok");
+                  row_note = Printf.sprintf "threshold +%g%%" svc_pct;
+                })
+        bs.sv_p99
+  | _ -> ());
   List.rev !rows
 
 let print_table rows =
@@ -312,6 +380,7 @@ let main () =
   let wall_pct = ref 30.0
   and rounds_tol = ref 0
   and tp_pct = ref 30.0
+  and svc_pct = ref 75.0
   and json_out = ref false in
   let float_arg name v rest =
     match (float_of_string_opt v, rest) with
@@ -332,6 +401,10 @@ let main () =
     | "--throughput-threshold" :: v :: rest ->
         let f, rest = float_arg "--throughput-threshold" v rest in
         tp_pct := f;
+        parse side rest
+    | "--service-threshold" :: v :: rest ->
+        let f, rest = float_arg "--service-threshold" v rest in
+        svc_pct := f;
         parse side rest
     | "--rounds-tolerance" :: v :: rest -> (
         match int_of_string_opt v with
@@ -370,7 +443,7 @@ let main () =
           rows :=
             !rows
             @ compare_runs ~wall_pct:!wall_pct ~rounds_tol:!rounds_tol
-                ~tp_pct:!tp_pct b n
+                ~tp_pct:!tp_pct ~svc_pct:!svc_pct b n
       | None -> unmatched := (k, "base-only") :: !unmatched)
     base_ix;
   List.iter

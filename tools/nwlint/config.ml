@@ -131,6 +131,12 @@ let rules =
        Star_forest, Orient, Pseudo_forest composites) are only invokable \
        via the engine (Nw_engine.Run / Pipelines) outside lib/core and \
        lib/engine" );
+    ( "SVC001",
+      Diagnostic.Error,
+      "lib/service request handlers never touch Nw_engine.Store directly \
+       — session state is reached only through the Session API \
+       (lib/service/session.ml), which scopes every Store key to its \
+       owning session" );
     ( "PERF001",
       Diagnostic.Error,
       "no O(n) Array.fill-style scratch resets in lib/ hot paths (use \

@@ -27,6 +27,7 @@ type scope = {
   in_lib : bool;
   in_lib_obs : bool;
   in_lib_chaos : bool;  (* lib/chaos hosts the sanctioned Rng itself *)
+  in_lib_service : bool;  (* the forestd daemon (SVC001 session isolation) *)
   in_pure_dirs : bool;  (* lib/core or lib/decomp *)
   in_engine_dirs : bool;
       (* lib/core (the composites' home) or lib/engine (the sanctioned
@@ -53,6 +54,8 @@ let scope_of_path path =
         in_lib = true;
         in_lib_obs = (match rest with "obs" :: _ -> true | _ -> false);
         in_lib_chaos = (match rest with "chaos" :: _ -> true | _ -> false);
+        in_lib_service =
+          (match rest with "service" :: _ -> true | _ -> false);
         in_pure_dirs =
           (match rest with ("core" | "decomp") :: _ -> true | _ -> false);
         in_engine_dirs =
@@ -63,6 +66,7 @@ let scope_of_path path =
         in_lib = false;
         in_lib_obs = false;
         in_lib_chaos = false;
+        in_lib_service = false;
         in_pure_dirs = false;
         in_engine_dirs = false;
       }
@@ -323,6 +327,33 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
       | _ -> ()
   in
 
+  (* --- SVC001 -------------------------------------------------- *)
+  (* session isolation in the daemon: every piece of Store state the
+     service holds belongs to exactly one named session, and session.ml
+     is the single sanctioned owner of that coupling. A request handler
+     (server.ml, wire.ml, anything else under lib/service) reaching
+     into Nw_engine.Store directly — even through a module alias — can
+     read or clobber keys of a session the request does not own, so the
+     access must go through the Session API instead. *)
+  let in_session_owner =
+    String.equal (Filename.remove_extension (Filename.basename file)) "session"
+  in
+  let check_svc1 ~loc segs =
+    if scope.in_lib_service && not in_session_owner then
+      match segs with
+      | "Nw_engine" :: "Store" :: _ ->
+          add ~loc "SVC001" Error
+            (Printf.sprintf
+               "direct Store access `%s` in a daemon request handler"
+               (dotted segs))
+            (Some
+               "lib/service touches engine state only through Session \
+                (lib/service/session.ml), which scopes every Store key \
+                to the session that owns it — a handler-level Store \
+                access can cross session boundaries")
+      | _ -> ()
+  in
+
   (* --- PERF001 ------------------------------------------------- *)
   (* O(n) scratch resets in lib/ hot paths: the data-plane discipline is
      generation-stamped scratch (Nw_graphs.Scratch), where reset is a
@@ -546,6 +577,7 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
             check_det2_bare ~loc segs;
             check_io ~loc segs;
             check_eng1 ~loc segs;
+            check_svc1 ~loc segs;
             check_perf1 ~loc segs
         | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
             let segs = expand_lid txt in
