@@ -29,6 +29,7 @@ let throughput_configs =
   [ (Backend.Boxed, 1); (Backend.Csr, 1); (Backend.Csr, 4) ]
 
 type leg = {
+  instance : string; (* which timed pipeline: "peel" or "hp-star" *)
   n : int;
   edges : int;
   backend : Backend.kind;
@@ -75,6 +76,7 @@ let throughput_sweep () =
                            (Backend.to_string backend) domains v))
                   layer);
             {
+              instance = "peel";
               n;
               edges = m;
               backend;
@@ -111,6 +113,153 @@ let throughput_sweep () =
      csr streams the packed adjacency plane.";
   legs
 
+(* ------------------------------------------------------------------ *)
+(* full-pipeline throughput sweep                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The peel sweep above times one message kernel; this one times a whole
+   engine-run decomposition end to end — pass boundaries, artifact store,
+   orientation build, Cole–Vishkin star-forest realization and the final
+   verification all included — so edges/sec here is what a `forestd
+   decompose` caller actually sees per data plane. The pipeline is the
+   Theorem 2.1 chain (peel -> acyclic orientation -> 3t-star-forest),
+   whose cost is adjacency streaming rather than augmenting-path search:
+   the plane-bound regime the functorized core moves to CSR. Every
+   configuration must produce the byte-identical coloring. *)
+
+let hp_star_pipeline ~alpha =
+  let open Nw_engine in
+  {
+    Engine.pl_name = "hp-star";
+    passes =
+      [
+        {
+          Engine.name = "hp.peel";
+          reads = [ ("graph", `Graph) ];
+          writes = [ ("hp", `Partition) ];
+          run =
+            (fun ctx store ->
+              let g = Store.graph store "graph" in
+              let hp =
+                Nw_core.H_partition.compute g ~epsilon:1.0 ~alpha_star:alpha
+                  ~rounds:ctx.Engine.rounds
+              in
+              Store.put store "hp" (Nw_engine.Artifact.Partition hp));
+        };
+        {
+          Engine.name = "hp.orient";
+          reads = [ ("graph", `Graph); ("hp", `Partition) ];
+          writes = [ ("orientation", `Orientation) ];
+          run =
+            (fun _ctx store ->
+              let g = Store.graph store "graph" in
+              let hp = Store.partition store "hp" in
+              let ids = Array.init (G.n g) (fun v -> v) in
+              Store.put store "orientation"
+                (Nw_engine.Artifact.Orientation
+                   (Nw_core.H_partition.orientation g hp ~ids)));
+        };
+        {
+          Engine.name = "hp.star";
+          reads = [ ("graph", `Graph); ("orientation", `Orientation) ];
+          writes = [ ("coloring", `Coloring) ];
+          run =
+            (fun ctx store ->
+              let g = Store.graph store "graph" in
+              let o = Store.orientation store "orientation" in
+              let ids = Array.init (G.n g) (fun v -> v) in
+              let c =
+                Nw_core.H_partition.star_forest_decomposition g o ~ids
+                  ~rounds:ctx.Engine.rounds
+              in
+              Store.put store "coloring" (Nw_engine.Artifact.Coloring c));
+        };
+      ];
+  }
+
+let time_pipeline_leg g ~alpha (backend, domains) =
+  Backend.with_kind backend @@ fun () ->
+  Dpool.with_domains domains @@ fun () ->
+  let open Nw_engine in
+  let rounds = Rounds.create () in
+  let rng = Random.State.make [| 0x5ca1e |] in
+  let t0 = Unix.gettimeofday () in
+  let store =
+    Engine.run
+      (Engine.ctx ~rng ~rounds)
+      (hp_star_pipeline ~alpha)
+      ~init:(Store.put Store.empty "graph" (Nw_engine.Artifact.Graph g))
+  in
+  let coloring = Store.coloring store "coloring" in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* verification is asserted but sits outside the timed window: it is
+     plane-independent post-hoc checking, not pipeline work *)
+  verified (Verify.star_forest_decomposition coloring) |> ignore;
+  (coloring, wall)
+
+let pipeline_sweep () =
+  section "E15c: full-pipeline throughput (engine-run hp-star, edges/sec)";
+  let alpha = 8 in
+  let legs =
+    List.concat_map
+      (fun n ->
+        let st = rng (15000 + n) in
+        let g = Gen.forest_union st n alpha in
+        let m = G.m g in
+        let reference = ref None in
+        List.map
+          (fun (backend, domains) ->
+            let coloring, wall = time_pipeline_leg g ~alpha (backend, domains) in
+            let colors = Nw_decomp.Coloring.to_array coloring in
+            (match !reference with
+            | None -> reference := Some colors
+            | Some ref_colors ->
+                if colors <> ref_colors then
+                  failwith
+                    (Printf.sprintf
+                       "pipeline sweep: %s/%d coloring diverges from the \
+                        boxed reference"
+                       (Backend.to_string backend) domains));
+            {
+              instance = "hp-star";
+              n;
+              edges = m;
+              backend;
+              domains;
+              wall;
+              eps = float_of_int m /. wall;
+            })
+          throughput_configs)
+      [ 125_001; 1_250_001 ]
+  in
+  let baseline_of leg =
+    List.find
+      (fun l -> l.n = leg.n && l.backend = Backend.Boxed && l.domains = 1)
+      legs
+  in
+  table ~title:"engine-run hp-star pipeline throughput by data plane"
+    ~header:
+      [ "n"; "edges"; "backend"; "domains"; "wall s"; "edges/sec"; "vs boxed" ]
+    ~rows:
+      (List.map
+         (fun leg ->
+           [
+             d leg.n;
+             d leg.edges;
+             Backend.to_string leg.backend;
+             d leg.domains;
+             Printf.sprintf "%.3f" leg.wall;
+             Printf.sprintf "%.3e" leg.eps;
+             Printf.sprintf "%.2fx" (leg.eps /. (baseline_of leg).eps);
+           ])
+         legs);
+  note
+    "end-to-end engine walls (passes and artifact store; verification \
+     asserted outside the timed window), byte-identical colorings \
+     asserted across every configuration; contrast with the kernel-only \
+     peel rows above.";
+  legs
+
 (* BENCH_scaling.json: a valid nw-bench/2 record whose additive
    [throughput] field persists the sweep (schema: docs/benchmarking.md;
    checked by validate_bench_json.exe). *)
@@ -118,8 +267,9 @@ let write_json legs wall_s =
   let oc = open_out "BENCH_scaling.json" in
   let leg_json l =
     Printf.sprintf
-      "    { \"backend\": \"%s\", \"domains\": %d, \"n\": %d, \"edges\": %d, \
-       \"wall_s\": %.6f, \"edges_per_sec\": %.1f }"
+      "    { \"instance\": \"%s\", \"backend\": \"%s\", \"domains\": %d, \
+       \"n\": %d, \"edges\": %d, \"wall_s\": %.6f, \"edges_per_sec\": %.1f }"
+      l.instance
       (Backend.to_string l.backend)
       l.domains l.n l.edges l.wall l.eps
   in
@@ -204,5 +354,6 @@ let run () =
      (1+eps)*alpha colors.";
   let t0 = Unix.gettimeofday () in
   let legs = throughput_sweep () in
+  let legs = legs @ pipeline_sweep () in
   if !Exp_common.json_enabled then
     write_json legs (Unix.gettimeofday () -. t0)

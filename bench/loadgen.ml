@@ -23,6 +23,8 @@ let usage =
   "loadgen --forestd PATH [options]\n\
    \  --forestd PATH     forestd executable to spawn (required)\n\
    \  --socket PATH      Unix socket path (default: private temp path)\n\
+   \  --backend NAME     data plane for daemon and client mirror\n\
+   \                     (boxed | csr, default boxed)\n\
    \  --domains K        worker domains for the daemon (default 1)\n\
    \  --seed N           workload RNG seed (default 11)\n\
    \  --requests N       total mixed requests to replay (default 120)\n\
@@ -32,6 +34,8 @@ let usage =
    \  --algorithm NAME   registry entry for batch requests (default augment)\n\
    \  --epsilon E        epsilon for batch requests (default 0.5)\n\
    \  --json FILE        nw-bench/2 output path (default BENCH_service.json)\n\
+   \  --dump-colors FILE write the final served coloring to FILE\n\
+   \  --check-colors FILE require the final served coloring to equal FILE\n\
    \  --quick            mark the record as a quick run\n"
 
 let die fmt =
@@ -48,6 +52,7 @@ let die fmt =
 type cfg = {
   mutable forestd : string;
   mutable socket : string;
+  mutable backend : Nw_graphs.Backend.kind;
   mutable domains : int;
   mutable seed : int;
   mutable requests : int;
@@ -57,6 +62,8 @@ type cfg = {
   mutable algorithm : string;
   mutable epsilon : float;
   mutable json : string;
+  mutable dump_colors : string;
+  mutable check_colors : string;
   mutable quick : bool;
 }
 
@@ -77,6 +84,7 @@ let parse_args () =
     {
       forestd = "";
       socket = "";
+      backend = Nw_graphs.Backend.Boxed;
       domains = 1;
       seed = 11;
       requests = 120;
@@ -86,6 +94,8 @@ let parse_args () =
       algorithm = "augment";
       epsilon = 0.5;
       json = "BENCH_service.json";
+      dump_colors = "";
+      check_colors = "";
       quick = false;
     }
   in
@@ -96,6 +106,11 @@ let parse_args () =
         go rest
     | "--socket" :: v :: rest ->
         cfg.socket <- v;
+        go rest
+    | "--backend" :: v :: rest ->
+        (match Nw_graphs.Backend.of_string v with
+        | Ok k -> cfg.backend <- k
+        | Error msg -> die "--backend: %s" msg);
         go rest
     | "--domains" :: v :: rest ->
         cfg.domains <- int_of_string v;
@@ -123,6 +138,12 @@ let parse_args () =
         go rest
     | "--json" :: v :: rest ->
         cfg.json <- v;
+        go rest
+    | "--dump-colors" :: v :: rest ->
+        cfg.dump_colors <- v;
+        go rest
+    | "--check-colors" :: v :: rest ->
+        cfg.check_colors <- v;
         go rest
     | "--quick" :: rest ->
         cfg.quick <- true;
@@ -160,6 +181,8 @@ let spawn_daemon cfg =
       "serve";
       "--socket";
       cfg.socket;
+      "--backend";
+      Nw_graphs.Backend.to_string cfg.backend;
       "--domains";
       string_of_int cfg.domains;
     |]
@@ -379,6 +402,7 @@ let write_record cfg ~wall_s ~service_obj =
     \  \"quick\": %b,\n\
     \  \"domains\": %d,\n\
     \  \"env\": {\n\
+    \    \"backend\": \"%s\",\n\
     \    \"git_commit\": %s,\n\
     \    \"hostname\": \"%s\",\n\
     \    \"ocaml_version\": \"%s\",\n\
@@ -398,6 +422,7 @@ let write_record cfg ~wall_s ~service_obj =
     \  \"failed\": null\n\
      }\n"
     b p c cfg.quick cfg.domains
+    (Nw_graphs.Backend.to_string cfg.backend)
     (match git_commit () with
     | Some c -> Printf.sprintf "\"%s\"" (json_escape c)
     | None -> "null")
@@ -414,6 +439,9 @@ let write_record cfg ~wall_s ~service_obj =
 
 let () =
   let cfg = parse_args () in
+  (* the daemon gets --backend on its argv; mirror the choice locally so
+     the client-side re-verification exercises the same plane *)
+  Nw_graphs.Backend.set_default cfg.backend;
   let rng = Random.State.make [| cfg.seed |] in
   let g = Gen.forest_union rng cfg.n cfg.alpha in
   let edges = G.edges g in
@@ -614,6 +642,33 @@ let () =
       | Error msg -> flag "final coloring fails client-side check: %s" msg
     end
   end;
+
+  (* cross-backend output equality: the final served coloring is the
+     deterministic product of the seeded workload, so a boxed run can
+     dump it and a csr run (same seed/mix) must reproduce it exactly *)
+  (if cfg.dump_colors <> "" then begin
+     let oc = open_out cfg.dump_colors in
+     Array.iter (fun c -> Printf.fprintf oc "%d\n" c) !last_colors;
+     close_out oc
+   end);
+  (if cfg.check_colors <> "" then begin
+     let expected =
+       let ic = open_in cfg.check_colors in
+       let acc = ref [] in
+       (try
+          while true do
+            acc := int_of_string (String.trim (input_line ic)) :: !acc
+          done
+        with End_of_file -> ());
+       close_in ic;
+       Array.of_list (List.rev !acc)
+     in
+     if expected <> !last_colors then
+       flag "check-colors: final coloring differs from %s (%d vs %d slots)"
+         cfg.check_colors
+         (Array.length expected)
+         (Array.length !last_colors)
+   end);
 
   (* daemon-side tallies for the record *)
   let incr_updates = ref 0 and fallbacks = ref 0 and srv_errors = ref 0 in

@@ -14,8 +14,10 @@
                (also wired into `dune build @perf-smoke`)
    Data plane: dune exec bench/perf_smoke.exe -- --backend csr
                (sets the process-default plane for every message kernel;
-                the smoke also always runs a boxed-vs-csr differential +
-                throughput sanity leg on the H-partition peel)
+                the smoke also always runs boxed-vs-csr differentials —
+                the H-partition peel with a throughput sanity floor, and
+                an edge-by-edge Augmenting.search run whose final
+                colorings must match byte-for-byte)
 
    Prints a wall-clock ns/query table with the cached/BFS speedup, then a
    Bechamel pass over the same kernels for statistically robust per-run
@@ -165,6 +167,50 @@ let bechamel_pass ~fast cs =
 
 module Backend = Nw_graphs.Backend
 
+(* Augmenting-path differential: run Algorithm 1 edge-by-edge over the
+   whole graph on each plane and require the final colorings to match
+   byte-for-byte. This pins the functorized Augmenting.search (and the
+   Coloring cache under it) to cross-plane determinism, not just the
+   streaming peel below. *)
+let augmenting_differential ~fast =
+  let alpha = 4 in
+  let n = if fast then 2_001 else 8_001 in
+  let g = Gen.forest_union (rng 77) n alpha in
+  let colors = 2 * alpha in
+  let run backend =
+    Backend.with_kind backend @@ fun () ->
+    let coloring = Coloring.create g ~colors in
+    let palette = Nw_decomp.Palette.full g colors in
+    let scratch = Nw_core.Augmenting.scratch coloring in
+    let t0 = Unix.gettimeofday () in
+    for e = 0 to G.m g - 1 do
+      match Nw_core.Augmenting.augment_edge coloring palette ~edge:e ~scratch () with
+      | Some _ -> ()
+      | None ->
+          Printf.eprintf
+            "perf smoke: augment stalled on edge %d (backend %s)\n" e
+            (Backend.to_string backend);
+          exit 1
+    done;
+    (Coloring.to_array coloring, Unix.gettimeofday () -. t0)
+  in
+  let boxed_colors, boxed_wall = run Backend.Boxed in
+  let csr_colors, csr_wall = run Backend.Csr in
+  Array.iteri
+    (fun e c ->
+      if c <> boxed_colors.(e) then begin
+        Printf.eprintf
+          "perf smoke: csr augmenting run diverges from boxed at edge %d\n" e;
+        exit 1
+      end)
+    csr_colors;
+  Printf.printf
+    "\n== data plane: augmenting path, n=%d m=%d ==\n\
+     boxed  %8.1f ms\n\
+     csr    %8.1f ms  (colorings identical)\n"
+    n (G.m g) (boxed_wall *. 1e3) (csr_wall *. 1e3);
+  flush stdout
+
 (* Differential first (identical layer arrays or exit 1), then a loose
    throughput floor: csr may not stream slower than a fifth of the boxed
    rate. The floor is deliberately far below the expected >= 2x win so a
@@ -234,5 +280,6 @@ let () =
   let cs = cases ~fast in
   wall_table ~fast cs;
   data_plane_check ~fast;
+  augmenting_differential ~fast;
   if not no_bechamel then bechamel_pass ~fast cs;
   Printf.printf "\nperf smoke completed.\n"

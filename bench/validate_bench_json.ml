@@ -134,6 +134,15 @@ let check_throughput file json =
             fail file "throughput leg %d is not an object" i
           else begin
             check_field file leg ("backend", shape_string);
+            (* instance is optional — legs predating the full-pipeline
+               sweep omit it — but when present it names the timed
+               pipeline and joins the benchdiff alignment key *)
+            (match J.member "instance" leg with
+            | None | Some (J.String _) -> ()
+            | Some _ ->
+                fail file
+                  "throughput leg field \"instance\" must be a string when \
+                   present");
             List.iter
               (fun f -> check_field file leg (f, shape_number))
               [ "domains"; "edges"; "wall_s"; "edges_per_sec" ]

@@ -698,7 +698,8 @@ let verify_cmd =
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let serve_run socket domains serve_metrics =
+let serve_run socket backend domains serve_metrics =
+  Nw_graphs.Backend.set_default backend;
   (* daemon-side failures use the same one-line JSON stderr diagnostic
      shape as the chaos path: machine-consumable, Json_lite-escaped,
      paired with a distinctive exit code (2 = CLI misuse, 3 = runtime
@@ -759,13 +760,30 @@ let serve_cmd =
              in Prometheus text format over a second Unix socket at SOCK \
              (scrape with curl --unix-socket SOCK http://localhost/).")
   in
+  let backend =
+    let backend_conv =
+      Arg.enum
+        (List.map
+           (fun k -> (Nw_graphs.Backend.to_string k, k))
+           Nw_graphs.Backend.all)
+    in
+    Arg.(
+      value
+      & opt backend_conv Nw_graphs.Backend.Boxed
+      & info [ "backend" ] ~docv:"PLANE"
+          ~doc:
+            "Data plane for batch pipelines and the incremental \
+             connectivity cache (boxed | csr). Served responses are \
+             byte-identical; csr answers decompose and edge churn from \
+             the flat planes (docs/data-plane.md).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the decomposition daemon: named dynamic-graph sessions, \
           incremental edge churn, batch decompose/orient via the \
           registry, over a Unix socket.")
-    Term.(const serve_run $ socket $ domains $ serve_metrics)
+    Term.(const serve_run $ socket $ backend $ domains $ serve_metrics)
 
 let () =
   let doc = "Nash-Williams forest decomposition in the LOCAL model" in

@@ -1,3 +1,7 @@
+(* nwlint:disable PERF001 -- the multi-forest recv fills are t-sized (one
+   slot per forest, t = max out-degree of the orientation), a few dozen
+   words per vertex inside a Theta(m) round; they are not O(n) scratch
+   resets *)
 module G = Nw_graphs.Multigraph
 module Net = Nw_localsim.Msg_net
 module Obs = Nw_obs.Obs
@@ -30,21 +34,20 @@ let three_color g ~parent_edge ~ids ~rounds =
     Net.create g ~rounds ~init:(fun v ->
         { color = ids.(v); parent_color = -1; child_colors = [] })
   in
-  (* every round: each vertex broadcasts its color on every incident edge;
-     receivers split messages into the parent one and child ones. *)
-  let send v st =
-    Array.to_list
-      (Array.map (fun (_, e) -> (e, st.color)) (G.incident g v))
-  in
-  let recv v st msgs =
+  (* every round: each vertex broadcasts its color on every incident
+     edge; receivers split messages into the parent one and child ones.
+     The all-broadcast shape is exactly [round_exchange]: the kernel
+     gathers each inbox by streaming the receiver's adjacency, no
+     per-message allocation. The recv is order-insensitive (one parent
+     pick, set-membership over children), as the primitive requires. *)
+  let value _ st = st.color in
+  let recv v st iter =
     let pcolor = ref (-1) and children = ref [] in
-    List.iter
-      (fun (e, c) ->
-        if e = parent_edge.(v) then pcolor := c else children := c :: !children)
-      msgs;
+    iter (fun e c ->
+        if e = parent_edge.(v) then pcolor := c else children := c :: !children);
     { st with parent_color = !pcolor; child_colors = !children }
   in
-  let exchange label = Net.round net ~label ~send ~recv in
+  let exchange label = Net.round_exchange net ~label ~value ~recv in
   let update f =
     for v = 0 to n - 1 do
       let st = Net.state net v in
@@ -96,3 +99,102 @@ let three_color g ~parent_edge ~ids ~rounds =
         end)
   done;
   Array.map (fun st -> st.color) (Net.states net)
+
+(* ------------------------------------------------------------------ *)
+(* concurrent multi-forest variant                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The [t] concurrent runs keep their per-(vertex, forest) state in flat
+   planes indexed [v * t + j] rather than per-vertex records: the update
+   sweeps become sequential scans and every message costs one indirection
+   instead of two dependent ones — at 10^7 edges the layout is the
+   difference between cache misses dominating and not. The net's own
+   per-vertex state is just the vertex id; a fault-injected restart
+   resets the vertex's color slice through [init], which is exactly the
+   state loss [three_color] suffers. The phase-2 child colors are a
+   bitmask, not a list: the recolor pick never inspects colors anywhere
+   near the word size, and a forbidden color the pick loop cannot reach
+   never changes its result. *)
+let three_color_forests g ~edge_forest ~parent_edge ~t ~ids ~rounds =
+  let n = G.n g and m = G.m g in
+  if t <= 0 then invalid_arg "Cole_vishkin.three_color_forests: t <= 0";
+  if
+    Array.length edge_forest <> m
+    || Array.length parent_edge <> n * t
+    || Array.length ids <> n
+  then invalid_arg "Cole_vishkin.three_color_forests: array size mismatch";
+  Obs.span "cole_vishkin.three_color_forests" @@ fun () ->
+  (* In LOCAL the [t] forests are colored concurrently on the same
+     network: one net over the whole graph, a vertex's message on edge
+     [e] is its color in [e]'s forest, and each round advances every
+     forest at once. Per-forest outputs, inboxes, and the charged
+     ledger are identical to [t] separate [three_color] runs (the
+     per-forest computations never interact); the simulation just stops
+     paying [t] full-vertex sweeps and subgraph builds per round. *)
+  let colors = Array.make (n * t) 0 in
+  let pcolors = Array.make (n * t) (-1) in
+  let cmask = Array.make (n * t) 0 in
+  let net =
+    Net.create g ~rounds ~init:(fun v ->
+        (* creation and fault-injected restarts: color reverts to the id *)
+        Array.fill colors (v * t) t ids.(v);
+        v)
+  in
+  let value u _ e = colors.((u * t) + edge_forest.(e)) in
+  let recv_parents v _ iter =
+    Array.fill pcolors (v * t) t (-1);
+    iter (fun e c ->
+        let j = edge_forest.(e) in
+        if e = parent_edge.((v * t) + j) then pcolors.((v * t) + j) <- c);
+    v
+  in
+  let recv_full v _ iter =
+    Array.fill pcolors (v * t) t (-1);
+    Array.fill cmask (v * t) t 0;
+    iter (fun e c ->
+        let j = edge_forest.(e) in
+        let i = (v * t) + j in
+        if e = parent_edge.(i) then pcolors.(i) <- c
+        else if c >= 0 && c < 62 then cmask.(i) <- cmask.(i) lor (1 lsl c));
+    v
+  in
+  let exchange label recv = Net.round_exchange_edges net ~label ~value ~recv in
+  let max_id = Array.fold_left max 0 ids in
+  let iterations =
+    let rec count l acc =
+      if l <= 3 then acc
+      else count (bits_needed (l - 1) + 1) (acc + 1)
+    in
+    count (bits_needed max_id) 0 + 1
+  in
+  for _ = 1 to iterations do
+    exchange "cole-vishkin/bit-reduction" recv_parents;
+    for i = 0 to (n * t) - 1 do
+      let color = colors.(i) in
+      let pcolor =
+        if parent_edge.(i) >= 0 then pcolors.(i) else color lxor 1
+      in
+      colors.(i) <- reduce_color color pcolor
+    done
+  done;
+  for c = 5 downto 3 do
+    exchange "cole-vishkin/shift-down" recv_parents;
+    for i = 0 to (n * t) - 1 do
+      colors.(i) <-
+        (if parent_edge.(i) >= 0 then pcolors.(i)
+         else if colors.(i) = 0 then 1
+         else 0)
+    done;
+    exchange "cole-vishkin/recolor" recv_full;
+    for i = 0 to (n * t) - 1 do
+      if colors.(i) = c then begin
+        let forbid x =
+          (parent_edge.(i) >= 0 && pcolors.(i) = x)
+          || (x < 62 && cmask.(i) land (1 lsl x) <> 0)
+        in
+        let rec pick x = if forbid x then pick (x + 1) else x in
+        colors.(i) <- pick 0
+      end
+    done
+  done;
+  colors

@@ -21,3 +21,29 @@ val three_color :
   ids:int array ->
   rounds:Nw_localsim.Rounds.t ->
   int array
+
+(** [three_color_forests g ~edge_forest ~parent_edge ~t ~ids ~rounds] runs
+    {!three_color} on [t] edge-disjoint rooted forests of [g]
+    {e concurrently} on one network over [g], as a LOCAL execution
+    genuinely would: each round every vertex broadcasts, on each incident
+    edge [e], its color in forest [edge_forest.(e)], and every forest
+    advances one step. The result is the flat color plane: slot
+    [v * t + j] is [v]'s color in forest [j], byte-identical to the
+    corresponding standalone [three_color] run on that forest's subgraph;
+    the rounds charged to [rounds] equal one standalone run's (the
+    per-forest ledgers coincide), not their sum.
+
+    [edge_forest.(e)] is the forest index of edge [e] (every edge must
+    belong to exactly one forest); [parent_edge.(v * t + j)] is [v]'s
+    parent edge in forest [j], or [-1].
+
+    @raise Invalid_argument if [t <= 0] or the array sizes disagree with
+    [g]. *)
+val three_color_forests :
+  Nw_graphs.Multigraph.t ->
+  edge_forest:int array ->
+  parent_edge:int array ->
+  t:int ->
+  ids:int array ->
+  rounds:Nw_localsim.Rounds.t ->
+  int array

@@ -109,53 +109,65 @@ let forests_of_orientation g o =
 
 let star_forest_decomposition g o ~ids ~rounds =
   Obs.span "h_partition.star_forests" @@ fun () ->
-  let coloring, parent_edges = forests_of_orientation g o in
-  let t = Coloring.colors coloring in
-  (* Cole-Vishkin on each forest; in LOCAL they run concurrently, so charge
-     the maximum ledger across forests. *)
-  let out = Coloring.create g ~colors:(3 * t) in
-  let sub_ledgers = ref [] in
-  for j = 0 to t - 1 do
-    let sub_rounds = Rounds.create () in
-    sub_ledgers := sub_rounds :: !sub_ledgers;
-    let keep = Array.make (G.m g) false in
-    G.fold_edges
-      (fun e _ _ () ->
-        if Coloring.color coloring e = Some j then keep.(e) <- true)
-      g ();
-    let forest_graph, emap = G.subgraph_of_edges g keep in
-    (* translate parent edges into the subgraph's edge ids *)
-    let old_to_new = Hashtbl.create (Array.length emap) in
-    Array.iteri (fun new_e old_e -> Hashtbl.add old_to_new old_e new_e) emap;
-    let parent_edge =
-      Array.map
-        (fun e ->
-          if e < 0 then -1
-          else match Hashtbl.find_opt old_to_new e with
-            | Some e' -> e'
-            | None -> -1)
-        parent_edges.(j)
-    in
-    let vcolors =
-      Cole_vishkin.three_color forest_graph ~parent_edge ~ids
-        ~rounds:sub_rounds
-    in
-    (* edge color = color of the parent endpoint: the child endpoint of the
-       edge is the vertex whose parent edge it is. *)
-    Array.iteri
-      (fun new_e old_e ->
-        let u, v = G.endpoints forest_graph new_e in
-        let parent =
-          if parent_edge.(u) = new_e then v
-          else begin
-            assert (parent_edge.(v) = new_e);
-            u
-          end
-        in
-        Coloring.set out old_e ((3 * j) + vcolors.(parent)))
-      emap
+  let n = G.n g and m = G.m g in
+  let t = O.max_out_degree o in
+  let t = max t 1 in
+  (* forest index of each edge (its position in the tail's out-list) and
+     the per-forest parent edges — the same partition
+     [forests_of_orientation] builds, but as flat int planes: the
+     partition is a forest by construction (one out-edge per vertex per
+     index), so no incremental cycle checking is needed here *)
+  let edge_forest = Array.make m (-1) in
+  let parent_edge = Array.make (n * t) (-1) in
+  for v = 0 to n - 1 do
+    List.iteri
+      (fun j e ->
+        edge_forest.(e) <- j;
+        parent_edge.((v * t) + j) <- e)
+      (O.out_edges o v)
   done;
-  Rounds.charge_max rounds !sub_ledgers;
+  (* Cole-Vishkin on all forests at once: in LOCAL the [t] runs execute
+     concurrently on the same network, so the combined run's ledger is
+     exactly one forest's (they coincide — same ids, same iteration
+     count) and is charged as the max. *)
+  let sub_rounds = Rounds.create () in
+  let vcolors =
+    Cole_vishkin.three_color_forests g ~edge_forest ~parent_edge ~t ~ids
+      ~rounds:sub_rounds
+  in
+  Rounds.charge_max rounds [ sub_rounds ];
+  (* edge color = color of the parent endpoint: the child endpoint of the
+     edge is the vertex whose parent edge it is. Emit grouped by forest,
+     ascending edge id within each. *)
+  let out = Coloring.create g ~colors:(3 * t) in
+  let offset = Array.make (t + 1) 0 in
+  for e = 0 to m - 1 do
+    offset.(edge_forest.(e) + 1) <- offset.(edge_forest.(e) + 1) + 1
+  done;
+  for j = 0 to t - 1 do
+    offset.(j + 1) <- offset.(j + 1) + offset.(j)
+  done;
+  let by_forest = Array.make m (-1) in
+  let cursor = Array.copy offset in
+  for e = 0 to m - 1 do
+    let j = edge_forest.(e) in
+    by_forest.(cursor.(j)) <- e;
+    cursor.(j) <- cursor.(j) + 1
+  done;
+  for j = 0 to t - 1 do
+    for i = offset.(j) to offset.(j + 1) - 1 do
+      let e = by_forest.(i) in
+      let u, v = G.endpoints g e in
+      let parent =
+        if parent_edge.((u * t) + j) = e then v
+        else begin
+          assert (parent_edge.((v * t) + j) = e);
+          u
+        end
+      in
+      Coloring.set out e ((3 * j) + vcolors.((parent * t) + j))
+    done
+  done;
   out
 
 (* charges land in the caller's phase span (lsfd/list-coloring drivers) *)

@@ -26,9 +26,10 @@ let with_kind k f =
   Atomic.set state k;
   Fun.protect ~finally:(fun () -> Atomic.set state saved) f
 
-(* First-class conformance witnesses: coercing both backends to GRAPH
-   here makes signature drift a compile error in lib/graphs itself. *)
-let boxed : (module Graph_sig.GRAPH with type t = Multigraph.t) =
+(* First-class conformance witnesses: coercing both backends to
+   GRAPH_EXT here makes signature drift a compile error in lib/graphs
+   itself. *)
+let boxed : (module Graph_sig.GRAPH_EXT with type t = Multigraph.t) =
   (module Multigraph)
 
-let csr : (module Graph_sig.GRAPH with type t = Csr.t) = (module Csr)
+let csr : (module Graph_sig.GRAPH_EXT with type t = Csr.t) = (module Csr)

@@ -25,9 +25,9 @@ val set_default : kind -> unit
     previous default afterwards (also on exception). *)
 val with_kind : kind -> (unit -> 'a) -> 'a
 
-(** First-class GRAPH witnesses for the two backends — conformance is
+(** First-class GRAPH_EXT witnesses for the two backends — conformance is
     checked here at compile time, and generic consumers can instantiate
     over them. *)
-val boxed : (module Graph_sig.GRAPH with type t = Multigraph.t)
+val boxed : (module Graph_sig.GRAPH_EXT with type t = Multigraph.t)
 
-val csr : (module Graph_sig.GRAPH with type t = Csr.t)
+val csr : (module Graph_sig.GRAPH_EXT with type t = Csr.t)

@@ -75,39 +75,26 @@ let finish n ~m ~src_at ~dst_at =
   done;
   { n; m; src; dst; row_ptr; packed }
 
-type builder = {
-  bn : int;
-  mutable bsrc : int array;
-  mutable bdst : int array;
-  mutable count : int;
-}
+type builder = { bn : int; bsrc : Vecbuf.t; bdst : Vecbuf.t }
 
 let create_builder n =
   if n < 0 then invalid_arg "Csr.create_builder: negative size";
-  { bn = n; bsrc = Array.make 16 0; bdst = Array.make 16 0; count = 0 }
+  { bn = n; bsrc = Vecbuf.create (); bdst = Vecbuf.create () }
 
 let add_edge b u v =
   if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
     invalid_arg "Csr.add_edge: endpoint out of range";
   if u = v then invalid_arg "Csr.add_edge: self-loop";
-  if b.count = Array.length b.bsrc then begin
-    let cap = 2 * b.count in
-    let src = Array.make cap 0 and dst = Array.make cap 0 in
-    Array.blit b.bsrc 0 src 0 b.count;
-    Array.blit b.bdst 0 dst 0 b.count;
-    b.bsrc <- src;
-    b.bdst <- dst
-  end;
-  let id = b.count in
-  b.bsrc.(id) <- u;
-  b.bdst.(id) <- v;
-  b.count <- id + 1;
+  let id = Vecbuf.length b.bsrc in
+  Vecbuf.push b.bsrc u;
+  Vecbuf.push b.bdst v;
   id
 
 let build b =
-  finish b.bn ~m:b.count
-    ~src_at:(fun e -> b.bsrc.(e))
-    ~dst_at:(fun e -> b.bdst.(e))
+  finish b.bn
+    ~m:(Vecbuf.length b.bsrc)
+    ~src_at:(Vecbuf.unsafe_get b.bsrc)
+    ~dst_at:(Vecbuf.unsafe_get b.bdst)
 
 let of_edges n edges =
   let b = create_builder n in
@@ -136,6 +123,14 @@ let m g = g.m
 let endpoints g e =
   if e < 0 || e >= g.m then invalid_arg "Csr.endpoints: edge out of range";
   (g.src.{e}, g.dst.{e})
+
+let src g e =
+  if e < 0 || e >= g.m then invalid_arg "Csr.src: edge out of range";
+  g.src.{e}
+
+let dst g e =
+  if e < 0 || e >= g.m then invalid_arg "Csr.dst: edge out of range";
+  g.dst.{e}
 
 let other_endpoint g e v =
   if e < 0 || e >= g.m then
@@ -199,6 +194,26 @@ let is_simple g =
     end
   in
   check 0
+
+let subgraph_of_edges g keep =
+  if Array.length keep <> g.m then
+    invalid_arg "Csr.subgraph_of_edges: edge mask size mismatch";
+  let ksrc = Vecbuf.create () and kdst = Vecbuf.create () in
+  let emap = Vecbuf.create () in
+  for e = 0 to g.m - 1 do
+    if keep.(e) then begin
+      Vecbuf.push ksrc g.src.{e};
+      Vecbuf.push kdst g.dst.{e};
+      Vecbuf.push emap e
+    end
+  done;
+  let sub =
+    finish g.n
+      ~m:(Vecbuf.length ksrc)
+      ~src_at:(Vecbuf.unsafe_get ksrc)
+      ~dst_at:(Vecbuf.unsafe_get kdst)
+  in
+  (sub, Vecbuf.to_array emap)
 
 (* BFS twins of the Multigraph versions: same queue discipline, same
    neighbor order (the CSR row replays the adjacency-row order), so the

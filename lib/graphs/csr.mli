@@ -19,7 +19,7 @@ type t
 
 type builder
 
-(** Mirrors [Multigraph.create_builder] — growable unboxed edge arrays. *)
+(** Mirrors [Multigraph.create_builder] — {!Vecbuf} endpoint vectors. *)
 val create_builder : int -> builder
 
 (** [add_edge b u v] appends edge [uv] and returns its edge id.
@@ -44,6 +44,8 @@ val to_multigraph : t -> Multigraph.t
 val n : t -> int
 val m : t -> int
 val endpoints : t -> int -> int * int
+val src : t -> int -> int
+val dst : t -> int -> int
 val other_endpoint : t -> int -> int -> int
 val degree : t -> int -> int
 val max_degree : t -> int
@@ -59,3 +61,11 @@ val is_simple : t -> bool
 val ball : t -> int -> int -> int list
 val ball_of_set : t -> int list -> int -> bool array
 val pp : Format.formatter -> t -> unit
+
+(** {1 Derived graphs} *)
+
+(** [subgraph_of_edges g keep] keeps exactly the edges with
+    [keep.(e) = true] (all vertices retained); returns the new graph and
+    the map from new edge ids to old edge ids. Same semantics and edge
+    renumbering as [Multigraph.subgraph_of_edges]. *)
+val subgraph_of_edges : t -> bool array -> t * int array

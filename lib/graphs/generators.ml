@@ -256,16 +256,8 @@ let preferential_attachment rng n k =
   let b = G.create_builder n in
   (* endpoint pool: each vertex appears once per incident edge, giving
      degree-proportional sampling *)
-  let pool = ref (Array.make 16 0) and pool_size = ref 0 in
-  let add_to_pool v =
-    if !pool_size = Array.length !pool then begin
-      let fresh = Array.make (2 * !pool_size) 0 in
-      Array.blit !pool 0 fresh 0 !pool_size;
-      pool := fresh
-    end;
-    !pool.(!pool_size) <- v;
-    incr pool_size
-  in
+  let pool = Vecbuf.create () in
+  let add_to_pool v = Vecbuf.push pool v in
   for v = 1 to k do
     ignore (G.add_edge b 0 v);
     add_to_pool 0;
@@ -276,7 +268,7 @@ let preferential_attachment rng n k =
     let rec draw attempts =
       if Hashtbl.length chosen >= k || attempts > 50 * k then ()
       else begin
-        let u = !pool.(Random.State.int rng !pool_size) in
+        let u = Vecbuf.get pool (Random.State.int rng (Vecbuf.length pool)) in
         if u <> v && not (Hashtbl.mem chosen u) then
           Hashtbl.replace chosen u ();
         draw (attempts + 1)

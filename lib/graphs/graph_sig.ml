@@ -30,6 +30,14 @@ module type GRAPH = sig
   (** Endpoints of an edge, as given at construction ([src], [dst]). *)
   val endpoints : t -> int -> int * int
 
+  (** First endpoint of an edge, as given at construction. Equivalent to
+      [fst (endpoints g e)] but never allocates — the coloring cache and
+      augmenting core resolve DLL node ids to vertices through these. *)
+  val src : t -> int -> int
+
+  (** Second endpoint of an edge, as given at construction. *)
+  val dst : t -> int -> int
+
   (** [other_endpoint g e v] is the endpoint of [e] that is not [v].
       @raise Invalid_argument if [v] is not an endpoint of [e]. *)
   val other_endpoint : t -> int -> int -> int
@@ -68,4 +76,20 @@ module type GRAPH = sig
   val ball_of_set : t -> int list -> int -> bool array
 
   val pp : Format.formatter -> t -> unit
+end
+
+(** {!GRAPH} plus the one piece of derived-graph surgery the functorized
+    core needs: per-color subgraph extraction for {!Cut}'s depth-mod rule.
+    Both backends implement it with identical edge-order semantics (kept
+    edges renumbered in ascending original edge-id order, vertex ids
+    preserved), so functor bodies over [GRAPH_EXT] stay byte-identical
+    across planes. General surgery ([induced], [power], builders) remains
+    backend-specific. *)
+module type GRAPH_EXT = sig
+  include GRAPH
+
+  (** [subgraph_of_edges g keep] is the subgraph on the same vertex set
+      containing exactly the edges [e] with [keep.(e)], plus the map from
+      new edge ids back to original ones (ascending). *)
+  val subgraph_of_edges : t -> bool array -> t * int array
 end

@@ -7,40 +7,27 @@ type t = {
   adj : (int * int) array array;
 }
 
-(* Growable unboxed edge arrays: a 10^7-edge build allocates a handful of
-   doubling int arrays instead of 10^7 cons cells plus a reversal pass. *)
-type builder = {
-  bn : int;
-  mutable bsrc : int array;
-  mutable bdst : int array;
-  mutable count : int;
-}
+(* Endpoint pairs accumulate in shared growable int vectors (Vecbuf): a
+   10^7-edge build allocates a handful of doubling arrays instead of 10^7
+   cons cells plus a reversal pass. *)
+type builder = { bn : int; bsrc : Vecbuf.t; bdst : Vecbuf.t }
 
 let create_builder n =
   if n < 0 then invalid_arg "Multigraph.create_builder: negative size";
-  { bn = n; bsrc = Array.make 16 0; bdst = Array.make 16 0; count = 0 }
+  { bn = n; bsrc = Vecbuf.create (); bdst = Vecbuf.create () }
 
 let add_edge b u v =
   if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
     invalid_arg "Multigraph.add_edge: endpoint out of range";
   if u = v then invalid_arg "Multigraph.add_edge: self-loop";
-  if b.count = Array.length b.bsrc then begin
-    let cap = 2 * b.count in
-    let src = Array.make cap 0 and dst = Array.make cap 0 in
-    Array.blit b.bsrc 0 src 0 b.count;
-    Array.blit b.bdst 0 dst 0 b.count;
-    b.bsrc <- src;
-    b.bdst <- dst
-  end;
-  let id = b.count in
-  b.bsrc.(id) <- u;
-  b.bdst.(id) <- v;
-  b.count <- id + 1;
+  let id = Vecbuf.length b.bsrc in
+  Vecbuf.push b.bsrc u;
+  Vecbuf.push b.bdst v;
   id
 
 let build b =
-  let m = b.count in
-  let src = Array.sub b.bsrc 0 m and dst = Array.sub b.bdst 0 m in
+  let m = Vecbuf.length b.bsrc in
+  let src = Vecbuf.to_array b.bsrc and dst = Vecbuf.to_array b.bdst in
   let deg = Array.make b.bn 0 in
   for e = 0 to m - 1 do
     deg.(src.(e)) <- deg.(src.(e)) + 1;
@@ -66,6 +53,8 @@ let n g = g.n
 let m g = Array.length g.src
 
 let endpoints g e = (g.src.(e), g.dst.(e))
+let src g e = g.src.(e)
+let dst g e = g.dst.(e)
 
 let other_endpoint g e v =
   if g.src.(e) = v then g.dst.(e)

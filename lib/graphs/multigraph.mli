@@ -36,6 +36,12 @@ val m : t -> int
 (** Endpoints of an edge, as given at construction ([src], [dst]). *)
 val endpoints : t -> int -> int * int
 
+(** First endpoint of an edge, as given at construction; non-allocating. *)
+val src : t -> int -> int
+
+(** Second endpoint of an edge, as given at construction; non-allocating. *)
+val dst : t -> int -> int
+
 (** [other_endpoint g e v] is the endpoint of [e] that is not [v].
     @raise Invalid_argument if [v] is not an endpoint of [e]. *)
 val other_endpoint : t -> int -> int -> int

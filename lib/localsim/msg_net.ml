@@ -233,6 +233,81 @@ module Make (G : Nw_graphs.Graph_sig.GRAPH) = struct
           t.states.(v) <- recv v t.states.(v) cnt.(v)
         done)
 
+  (* Exchange round (every vertex broadcasts one int on every incident
+     edge): the inbox of [w] is then exactly one value per incident
+     edge — the neighbor's broadcast — so the kernel gathers it by
+     streaming [w]'s own adjacency against a precomputed value array
+     instead of materializing per-message list cells. Runs identically
+     on both planes (the order contract below makes it plane-invariant);
+     message accounting matches the generic path: one delivery per
+     incidence, 2m per round. [recv] sees the messages in the
+     *receiver's incidence order* (ascending slot), which coincides on
+     both planes by the CSR order contract. *)
+  let exchange_step t ~value ~recv =
+    let n = G.n t.g in
+    let vals = Array.make n 0 in
+    for v = 0 to n - 1 do
+      vals.(v) <- value v t.states.(v)
+    done;
+    for v = 0 to n - 1 do
+      t.states.(v) <-
+        recv v t.states.(v) (fun f ->
+            G.iter_incident t.g v (fun u e -> f e vals.(u)))
+    done;
+    t.delivered <- t.delivered + (2 * G.m t.g)
+
+  let exchange_step_par t k ~value ~recv =
+    let n = G.n t.g in
+    let shards = Dpool.split n k in
+    let vals = Array.make n 0 in
+    Dpool.run ~domains:k (fun d ->
+        let lo, hi = shards.(d) in
+        for v = lo to hi - 1 do
+          vals.(v) <- value v t.states.(v)
+        done);
+    (* gather is read-only on [vals] and writes only the shard's own
+       states: deterministic at any K by construction *)
+    Dpool.run ~domains:k (fun d ->
+        let lo, hi = shards.(d) in
+        for v = lo to hi - 1 do
+          t.states.(v) <-
+            recv v t.states.(v) (fun f ->
+                G.iter_incident t.g v (fun u e -> f e vals.(u)))
+        done);
+    t.delivered <- t.delivered + (2 * G.m t.g)
+
+  (* Edge-valued exchange: like [exchange_step], but the broadcast value
+     may depend on the edge it crosses ([value v st e]) — the shape of
+     the concurrent multi-forest Cole–Vishkin round, where a vertex's
+     message on edge [e] is its color in [e]'s forest. The contract
+     requires [value] to be pure over the round (it must not observe
+     anything [recv] changes), so the gather evaluates it on the fly at
+     each receiver instead of snapshotting 2m message slots first: one
+     random access per delivery, no per-round edge-sized scratch. *)
+  let exchange_edges_step t ~value ~recv =
+    let n = G.n t.g in
+    for v = 0 to n - 1 do
+      t.states.(v) <-
+        recv v t.states.(v) (fun f ->
+            G.iter_incident t.g v (fun u e -> f e (value u t.states.(u) e)))
+    done;
+    t.delivered <- t.delivered + (2 * G.m t.g)
+
+  let exchange_edges_step_par t k ~value ~recv =
+    let n = G.n t.g in
+    let shards = Dpool.split n k in
+    (* purity of [value] over the round is what makes the shards
+       independent: every domain reads the same pre-round view *)
+    Dpool.run ~domains:k (fun d ->
+        let lo, hi = shards.(d) in
+        for v = lo to hi - 1 do
+          t.states.(v) <-
+            recv v t.states.(v) (fun f ->
+                G.iter_incident t.g v (fun u e ->
+                    f e (value u t.states.(u) e)))
+        done);
+    t.delivered <- t.delivered + (2 * G.m t.g)
+
   (* the faulty path: crashed nodes neither send, receive, nor update
      state; a restart resets the node to its initial state (state loss);
      per-message delivery decisions come from the installed fault policy.
@@ -378,6 +453,53 @@ module Make (G : Nw_graphs.Graph_sig.GRAPH) = struct
     if t.delivered > before then
       Nw_obs.Obs.count "msg_net.messages" ~by:(t.delivered - before)
 
+  let[@obs.in_span] round_exchange t ~label ~value ~recv =
+    let before = t.delivered in
+    (match t.chaos with
+    | None ->
+        if t.par > 1 then exchange_step_par t t.par ~value ~recv
+        else exchange_step t ~value ~recv
+    | Some c ->
+        (* under faults every message needs its own verdict: fall back
+           to the canonical sequential per-message path (recv then sees
+           the inbox order, as the fault scheduler dictates) *)
+        let send v st =
+          let x = value v st in
+          List.rev
+            (G.fold_incident t.g v ~init:[] (fun acc _ e -> (e, x) :: acc))
+        in
+        let recv v st msgs =
+          recv v st (fun f -> List.iter (fun (e, x) -> f e x) msgs)
+        in
+        faulty_step t c ~send ~recv);
+    t.round_num <- t.round_num + 1;
+    Rounds.charge t.rounds ~label 1;
+    Nw_obs.Obs.count "msg_net.rounds";
+    if t.delivered > before then
+      Nw_obs.Obs.count "msg_net.messages" ~by:(t.delivered - before)
+
+  let[@obs.in_span] round_exchange_edges t ~label ~value ~recv =
+    let before = t.delivered in
+    (match t.chaos with
+    | None ->
+        if t.par > 1 then exchange_edges_step_par t t.par ~value ~recv
+        else exchange_edges_step t ~value ~recv
+    | Some c ->
+        let send v st =
+          List.rev
+            (G.fold_incident t.g v ~init:[] (fun acc _ e ->
+                 (e, value v st e) :: acc))
+        in
+        let recv v st msgs =
+          recv v st (fun f -> List.iter (fun (e, x) -> f e x) msgs)
+        in
+        faulty_step t c ~send ~recv);
+    t.round_num <- t.round_num + 1;
+    Rounds.charge t.rounds ~label 1;
+    Nw_obs.Obs.count "msg_net.rounds";
+    if t.delivered > before then
+      Nw_obs.Obs.count "msg_net.messages" ~by:(t.delivered - before)
+
   let messages_delivered t = t.delivered
   let rounds_executed t = t.round_num
 
@@ -462,6 +584,44 @@ let round_count t ~label ~decide ~recv =
       let recv v st msgs = recv v st (List.length msgs) in
       Boxed_kernel.round b ~label ~send ~recv
   | Csr (_, c) -> Csr_kernel.round_count c ~label ~decide ~recv
+
+let round_exchange t ~label ~value ~recv =
+  match t with
+  | Boxed b ->
+      (* reference plane: the exact generic per-message path, as with
+         round_count — the boxed backend stays the byte-for-byte (and
+         allocation-for-allocation) baseline. recv then consumes the
+         inbox in generic arrival order, not incidence order; the
+         primitive's contract already requires order-insensitivity, and
+         the cross-plane differentials pin the outcome. *)
+      let g = Boxed_kernel.graph b in
+      let send v st =
+        let x = value v st in
+        List.rev
+          (Nw_graphs.Multigraph.fold_incident g v ~init:[] (fun acc _ e ->
+               (e, x) :: acc))
+      in
+      let recv v st msgs =
+        recv v st (fun f -> List.iter (fun (e, x) -> f e x) msgs)
+      in
+      Boxed_kernel.round b ~label ~send ~recv
+  | Csr (_, c) -> Csr_kernel.round_exchange c ~label ~value ~recv
+
+let round_exchange_edges t ~label ~value ~recv =
+  match t with
+  | Boxed b ->
+      (* reference plane: generic per-message path, as above *)
+      let g = Boxed_kernel.graph b in
+      let send v st =
+        List.rev
+          (Nw_graphs.Multigraph.fold_incident g v ~init:[] (fun acc _ e ->
+               (e, value v st e) :: acc))
+      in
+      let recv v st msgs =
+        recv v st (fun f -> List.iter (fun (e, x) -> f e x) msgs)
+      in
+      Boxed_kernel.round b ~label ~send ~recv
+  | Csr (_, c) -> Csr_kernel.round_exchange_edges c ~label ~value ~recv
 
 let messages_delivered = function
   | Boxed b -> Boxed_kernel.messages_delivered b

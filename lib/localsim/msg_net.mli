@@ -113,6 +113,38 @@ module Make (G : Nw_graphs.Graph_sig.GRAPH) : sig
     recv:(int -> 'state -> int -> 'state) ->
     unit
 
+  (** Specialised all-incident int broadcast (the Cole–Vishkin exchange
+      shape): every vertex broadcasts [value v st] on every incident
+      edge; [recv v st iter] consumes the inbox through [iter f], which
+      calls [f edge msg] once per incident edge of [v] — in [v]'s own
+      incidence order, identical on both planes by the CSR order
+      contract — without materializing message lists. Accounting matches
+      {!round}: 2m deliveries, one round charged. Under a fault context
+      the canonical per-message path runs instead and [iter] follows the
+      (fault-scheduled) inbox order, so [recv] must not depend on
+      message order beyond edge identity. *)
+  val round_exchange :
+    ('state, int) t ->
+    label:string ->
+    value:(int -> 'state -> int) ->
+    recv:(int -> 'state -> ((int -> int -> unit) -> unit) -> 'state) ->
+    unit
+
+  (** Like {!round_exchange} but the broadcast value may depend on the
+      edge it crosses ([value v st e]) — the concurrent multi-forest
+      Cole–Vishkin shape. Contract: [value] must be {e pure over the
+      round} — it must not observe anything [recv] changes (state or
+      shared mutable data), so the kernel is free to evaluate it before
+      or during delivery. The streamed path exploits this by computing
+      each message at its receiver with no per-round edge-sized
+      scratch. *)
+  val round_exchange_edges :
+    ('state, int) t ->
+    label:string ->
+    value:(int -> 'state -> int -> int) ->
+    recv:(int -> 'state -> ((int -> int -> unit) -> unit) -> 'state) ->
+    unit
+
   val messages_delivered : ('state, 'msg) t -> int
   val rounds_executed : ('state, 'msg) t -> int
 
@@ -176,6 +208,29 @@ val round_count :
   label:string ->
   decide:(int -> 'state -> bool) ->
   recv:(int -> 'state -> int -> 'state) ->
+  unit
+
+(** All-incident int broadcast; see {!Make.round_exchange}. As with
+    {!round_count}, the boxed backend executes the exact generic
+    per-message path (the reference baseline, [recv] seeing generic
+    arrival order); CSR streams the adjacency plane in incidence order.
+    [recv] must therefore be order-insensitive beyond edge identity —
+    which the primitive already requires for its fault fallback. *)
+val round_exchange :
+  ('state, int) t ->
+  label:string ->
+  value:(int -> 'state -> int) ->
+  recv:(int -> 'state -> ((int -> int -> unit) -> unit) -> 'state) ->
+  unit
+
+(** Edge-valued exchange; see {!Make.round_exchange_edges} for the
+    purity contract on [value]. Backend split as in {!round_exchange}:
+    boxed runs the generic per-message reference path, CSR streams. *)
+val round_exchange_edges :
+  ('state, int) t ->
+  label:string ->
+  value:(int -> 'state -> int -> int) ->
+  recv:(int -> 'state -> ((int -> int -> unit) -> unit) -> 'state) ->
   unit
 
 (** Total messages delivered since creation. *)

@@ -201,6 +201,157 @@ let test_copy_preserves_cache_coherence () =
   check_all_queries "copy after original churn" d;
   check_all_queries "churned original" c
 
+(* -------------------------------------------------------------------- *)
+(* dynamic-graph differential: extend/connected across planes            *)
+(* -------------------------------------------------------------------- *)
+
+(* The session layer's churn pattern (docs/service.md): an insertion
+   extends the live coloring onto a supergraph and probes the palette
+   with [connected]; a deletion tombstones a slot (unset — slot ids are
+   never reused). Replay one op script on both planes of the functorized
+   core and check every probe, every chosen insertion color, and the
+   final snapshot against a from-scratch DFS oracle and against each
+   other. *)
+
+module Backend = Nw_graphs.Backend
+
+type dyn_op =
+  | Insert of int * int
+  | Delete of int  (** tombstone slot [i] *)
+  | Probe of int * int * int  (** color, u, v *)
+
+let gen_script st n k steps =
+  let slots = ref 0 in
+  let ops = ref [] in
+  for _ = 1 to steps do
+    let r = Random.State.int st 10 in
+    if r < 4 || !slots = 0 then begin
+      let u = Random.State.int st n in
+      let v = (u + 1 + Random.State.int st (n - 1)) mod n in
+      ops := Insert (u, v) :: !ops;
+      incr slots
+    end
+    else if r < 6 then ops := Delete (Random.State.int st !slots) :: !ops
+    else
+      ops :=
+        Probe
+          ( Random.State.int st k,
+            Random.State.int st n,
+            Random.State.int st n )
+        :: !ops
+  done;
+  List.rev !ops
+
+(* replay on one plane; every Insert rebuilds the supergraph and goes
+   through [extend], mirroring Session.insert_edge *)
+let replay kind n k script =
+  Backend.with_kind kind @@ fun () ->
+  let edges = ref [] (* reversed *) in
+  let c = ref (Coloring.create (G.of_edges n []) ~colors:k) in
+  let probes = ref [] and chosen = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert (u, v) ->
+          edges := (u, v) :: !edges;
+          let g' = G.of_edges n (List.rev !edges) in
+          c := Coloring.extend !c g';
+          let e = G.m g' - 1 in
+          let col = ref (-1) in
+          (try
+             for cand = 0 to k - 1 do
+               if not (Coloring.connected !c cand u v) then begin
+                 col := cand;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !col >= 0 then Coloring.set !c e !col;
+          chosen := !col :: !chosen
+      | Delete i -> if Coloring.color !c i <> None then Coloring.unset !c i
+      | Probe (col, u, v) ->
+          probes := Coloring.connected !c col u v :: !probes)
+    script;
+  (List.rev !probes, List.rev !chosen, Coloring.to_array !c)
+
+(* the DFS oracle replays the same script over a plain slot table *)
+let replay_oracle n k script =
+  let slots = ref [] (* (u, v, color option) reversed *) in
+  let connected col u v =
+    if u = v then true
+    else begin
+      let adj = Array.make n [] in
+      List.iter
+        (fun (x, y, c) ->
+          if c = Some col then begin
+            adj.(x) <- y :: adj.(x);
+            adj.(y) <- x :: adj.(y)
+          end)
+        !slots;
+      let seen = Array.make n false in
+      let rec dfs x =
+        if not seen.(x) then begin
+          seen.(x) <- true;
+          List.iter dfs adj.(x)
+        end
+      in
+      dfs u;
+      seen.(v)
+    end
+  in
+  let probes = ref [] and chosen = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert (u, v) ->
+          let col = ref (-1) in
+          (try
+             for cand = 0 to k - 1 do
+               if !col < 0 && not (connected cand u v) then begin
+                 col := cand;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          slots := (u, v, if !col >= 0 then Some !col else None) :: !slots;
+          chosen := !col :: !chosen
+      | Delete i ->
+          slots :=
+            List.mapi
+              (fun j (u, v, c) ->
+                if List.length !slots - 1 - j = i then (u, v, None)
+                else (u, v, c))
+              !slots
+      | Probe (col, u, v) -> probes := connected col u v :: !probes)
+    script;
+  let snapshot =
+    Array.of_list (List.rev_map (fun (_, _, c) -> c) !slots)
+  in
+  (List.rev !probes, List.rev !chosen, snapshot)
+
+let prop_extend_connected_differential =
+  QCheck.Test.make
+    ~name:"extend/connected: boxed == csr == DFS oracle under tombstoned churn"
+    ~count:30 (QCheck.int_bound 1_000_000)
+    (fun seed ->
+      let st = rng seed in
+      let n = 5 + Random.State.int st 8 in
+      let k = 1 + Random.State.int st 3 in
+      let script = gen_script st n k 50 in
+      let bp, bc, bs = replay Backend.Boxed n k script in
+      let cp, cc, cs = replay Backend.Csr n k script in
+      let op, oc, os = replay_oracle n k script in
+      if bp <> cp then Alcotest.fail "probe answers differ boxed vs csr";
+      if bp <> op then Alcotest.fail "probe answers differ boxed vs oracle";
+      if bc <> cc then
+        Alcotest.fail "insertion colors differ boxed vs csr";
+      if bc <> oc then
+        Alcotest.fail "insertion colors differ boxed vs oracle";
+      if bs <> cs then Alcotest.fail "final snapshot differs boxed vs csr";
+      if bs <> os then
+        Alcotest.fail "final snapshot differs boxed vs oracle";
+      true)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -217,4 +368,6 @@ let () =
         ] );
       qsuite "differential"
         [ prop_differential; prop_component_counts ];
+      qsuite "dynamic"
+        [ prop_extend_connected_differential ];
     ]

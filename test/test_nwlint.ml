@@ -372,6 +372,21 @@ let perf =
     ( "PERF002 negative: single-level tuple array",
       check_silent "PERF002" ~path:"lib/core/fixture.ml"
         "type t = { pairs : (int * int) array }" );
+    ( "PERF002 positive: list-row adjacency plane in lib/decomp",
+      check_fires "PERF002" ~path:"lib/decomp/fixture.ml"
+        "type t = { adj : (int * int) list array }" );
+    ( "PERF002 positive: array rows inside a list",
+      check_fires "PERF002" ~path:"lib/decomp/fixture.ml"
+        "type rows = (int * int) array list" );
+    ( "PERF002 positive: wider int tuple in list rows",
+      check_fires "PERF002" ~path:"lib/decomp/fixture.ml"
+        "type t = (int * int * int) list array" );
+    ( "PERF002 negative: plain edge list",
+      check_silent "PERF002" ~path:"lib/decomp/fixture.ml"
+        "type t = { edges : (int * int) list }" );
+    ( "PERF002 negative: non-int tuple rows",
+      check_silent "PERF002" ~path:"lib/decomp/fixture.ml"
+        "type t = (int * float) list array" );
     ( "PERF002 negative: outside lib/",
       check_silent "PERF002" ~path:"tools/fixture.ml"
         "type t = (int * int) array array" );

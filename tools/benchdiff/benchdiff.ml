@@ -16,13 +16,15 @@
                      contract as charged_rounds
      failed          regression when the new record carries a non-null
                      failure and the base does not
-     throughput legs aligned by (backend, domains, edges); regression
-                     when edges_per_sec < base * (1 - throughput-threshold%)
+     throughput legs aligned by (instance, backend, domains, edges);
+                     regression when edges_per_sec <
+                     base * (1 - throughput-threshold%)
      service         invalid / errors counts must not grow (a served
                      response that fails client-side validation is a
                      correctness bug, not noise); per-class p99 latency
                      is a regression when new > base *
-                     (1 + service-threshold%)
+                     (1 + service-threshold%); incremental_speedup is a
+                     regression when new < base / (1 + speedup-threshold%)
 
    Wall-clock comparisons are skipped (with a note) when the two
    records disagree on quick/domains — the numbers are not comparable.
@@ -33,6 +35,7 @@
 module J = Nw_obs.Json_lite
 
 type leg = {
+  leg_instance : string; (* which timed pipeline; "-" on legacy records *)
   leg_backend : string;
   leg_domains : int;
   leg_edges : int;
@@ -43,6 +46,7 @@ type service = {
   sv_invalid : int;
   sv_errors : int;
   sv_p99 : (string * float) list; (* per request class *)
+  sv_speedup : float option; (* mean batch / mean churn; null when absent *)
 }
 
 type run = {
@@ -63,7 +67,8 @@ let usage () =
   prerr_endline
     "usage: benchdiff --base BENCH.json ... --new BENCH.json ...\n\
     \       [--wall-threshold PCT] [--rounds-tolerance N]\n\
-    \       [--throughput-threshold PCT] [--service-threshold PCT] [--json]";
+    \       [--throughput-threshold PCT] [--service-threshold PCT]\n\
+    \       [--speedup-threshold PCT] [--json]";
   exit 2
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline ("benchdiff: " ^ m); exit 2) fmt
@@ -128,7 +133,13 @@ let load_run file =
                         ls
                   | _ -> []
                 in
-                Some { sv_invalid = inv; sv_errors = errs; sv_p99 = p99 }
+                Some
+                  {
+                    sv_invalid = inv;
+                    sv_errors = errs;
+                    sv_p99 = p99;
+                    sv_speedup = jfloat svc "incremental_speedup";
+                  }
             | _ -> None)
         | _ -> None
       in
@@ -146,6 +157,8 @@ let load_run file =
                 | Some b, Some d, Some e, Some eps ->
                     Some
                       {
+                        leg_instance =
+                          Option.value (jstr l "instance") ~default:"-";
                         leg_backend = b;
                         leg_domains = d;
                         leg_edges = e;
@@ -196,7 +209,7 @@ let pct_delta base v =
   if base = 0.0 then if v = 0.0 then 0.0 else infinity
   else (v -. base) /. base *. 100.0
 
-let compare_runs ~wall_pct ~rounds_tol ~tp_pct ~svc_pct base neu =
+let compare_runs ~wall_pct ~rounds_tol ~tp_pct ~svc_pct ~spd_pct base neu =
   let rows = ref [] in
   let push r = rows := r :: !rows in
   let k = key base in
@@ -255,7 +268,8 @@ let compare_runs ~wall_pct ~rounds_tol ~tp_pct ~svc_pct base neu =
   List.iter
     (fun bl ->
       let matches l =
-        String.equal l.leg_backend bl.leg_backend
+        String.equal l.leg_instance bl.leg_instance
+        && String.equal l.leg_backend bl.leg_backend
         && l.leg_domains = bl.leg_domains
         && l.leg_edges = bl.leg_edges
       in
@@ -266,8 +280,8 @@ let compare_runs ~wall_pct ~rounds_tol ~tp_pct ~svc_pct base neu =
           push
             {
               row_key =
-                Printf.sprintf "%s[%s x%d %de]" k bl.leg_backend
-                  bl.leg_domains bl.leg_edges;
+                Printf.sprintf "%s[%s %s x%d %de]" k bl.leg_instance
+                  bl.leg_backend bl.leg_domains bl.leg_edges;
               row_metric = "edges_per_sec";
               row_base = bl.leg_eps;
               row_new = nl.leg_eps;
@@ -308,7 +322,24 @@ let compare_runs ~wall_pct ~rounds_tol ~tp_pct ~svc_pct base neu =
                   row_verdict = (if np > limit then "regression" else "ok");
                   row_note = Printf.sprintf "threshold +%g%%" svc_pct;
                 })
-        bs.sv_p99
+        bs.sv_p99;
+      (* incremental_speedup is higher-is-better: a drop past the
+         threshold means churn answers stopped paying for themselves
+         (e.g. the incremental path silently falling back to full
+         re-decomposition) *)
+      (match (bs.sv_speedup, ns.sv_speedup) with
+      | Some bsp, Some nsp ->
+          let floor = bsp /. (1.0 +. (spd_pct /. 100.0)) in
+          push
+            {
+              row_key = k;
+              row_metric = "service.incremental_speedup";
+              row_base = bsp;
+              row_new = nsp;
+              row_verdict = (if nsp < floor then "regression" else "ok");
+              row_note = Printf.sprintf "threshold -/%g%%" spd_pct;
+            }
+      | _ -> ())
   | _ -> ());
   List.rev !rows
 
@@ -381,6 +412,7 @@ let main () =
   and rounds_tol = ref 0
   and tp_pct = ref 30.0
   and svc_pct = ref 75.0
+  and spd_pct = ref 50.0
   and json_out = ref false in
   let float_arg name v rest =
     match (float_of_string_opt v, rest) with
@@ -405,6 +437,10 @@ let main () =
     | "--service-threshold" :: v :: rest ->
         let f, rest = float_arg "--service-threshold" v rest in
         svc_pct := f;
+        parse side rest
+    | "--speedup-threshold" :: v :: rest ->
+        let f, rest = float_arg "--speedup-threshold" v rest in
+        spd_pct := f;
         parse side rest
     | "--rounds-tolerance" :: v :: rest -> (
         match int_of_string_opt v with
@@ -443,7 +479,7 @@ let main () =
           rows :=
             !rows
             @ compare_runs ~wall_pct:!wall_pct ~rounds_tol:!rounds_tol
-                ~tp_pct:!tp_pct ~svc_pct:!svc_pct b n
+                ~tp_pct:!tp_pct ~svc_pct:!svc_pct ~spd_pct:!spd_pct b n
       | None -> unmatched := (k, "base-only") :: !unmatched)
     base_ix;
   List.iter

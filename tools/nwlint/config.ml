@@ -144,8 +144,9 @@ let rules =
        with justification)" );
     ( "PERF002",
       Diagnostic.Error,
-      "no new boxed-tuple adjacency planes ((int * int) array array) in \
-       lib/ — adjacency lives in the Csr/Multigraph backends" );
+      "no new boxed-tuple adjacency planes ((int * int) rows nested in \
+       any two array/list containers) in lib/ — adjacency lives in the \
+       Csr/Multigraph backends" );
     ( "RACE001",
       Diagnostic.Error,
       "no writes to global refs or the Store reachable from a Dpool.run \

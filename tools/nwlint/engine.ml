@@ -530,9 +530,14 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
         else super#value_binding vb
 
       (* --- PERF002 ------------------------------------------------ *)
-      (* a new boxed-tuple adjacency plane ((int * int) array array, or
-         wider int tuples) reintroduces the pointer-chasing data plane
-         the CSR backend exists to replace *)
+      (* a new boxed-tuple adjacency plane — per-vertex rows of (int *
+         int) endpoints held in any two nested {array, list} containers:
+         `(int * int) array array`, `(int * int) list array`, ... —
+         reintroduces the pointer-chasing data plane the CSR backend
+         exists to replace. The list-row forms matter since the
+         functorized Coloring/Augmenting core: an incremental-churn
+         helper in lib/decomp that accumulates adjacency as list rows
+         would silently pin the cache to the boxed plane. *)
       method! core_type ct =
         (if scope.in_lib then
            let is_int c =
@@ -540,17 +545,26 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
              | Ptyp_constr ({ txt = Lident "int"; _ }, []) -> true
              | _ -> false
            in
-           match ct.ptyp_desc with
-           | Ptyp_constr ({ txt = Lident "array"; _ }, [ inner1 ]) -> (
-               match inner1.ptyp_desc with
-               | Ptyp_constr ({ txt = Lident "array"; _ }, [ inner2 ]) -> (
+           let container c =
+             match c with
+             | Ptyp_constr ({ txt = Lident (("array" | "list") as name); _ },
+                            [ inner ]) ->
+                 Some (name, inner)
+             | _ -> None
+           in
+           match container ct.ptyp_desc with
+           | Some (outer, inner1) -> (
+               match container inner1.ptyp_desc with
+               | Some (inner, inner2) -> (
                    match inner2.ptyp_desc with
                    | Ptyp_tuple comps
                      when List.length comps >= 2 && List.for_all is_int comps
                      ->
                        add ~loc:ct.ptyp_loc "PERF002" Error
-                         "boxed-tuple adjacency plane type `(int * int) \
-                          array array` in lib/"
+                         (Printf.sprintf
+                            "boxed-tuple adjacency plane type `(int * int) \
+                             %s %s` in lib/"
+                            inner outer)
                          (Some
                             "adjacency planes belong to the graph \
                              backends: use Nw_graphs.Csr (flat Bigarray \
@@ -558,8 +572,8 @@ let lint_ast (config : Lint_config.t) ~scope ~file ~source_defines_compare
                              sanctioned Multigraph reference plane \
                              instead of a new boxed plane")
                    | _ -> ())
-               | _ -> ())
-           | _ -> ());
+               | None -> ())
+           | None -> ());
         super#core_type ct
 
       method! expression e =
